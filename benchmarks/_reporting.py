@@ -1,0 +1,23 @@
+"""Reporting helper shared by the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper.  Besides the
+pytest-benchmark timing, the regenerated rows are written to
+``benchmarks/results/<experiment>.txt`` so they can be inspected (and copied
+into EXPERIMENTS.md) without re-running the harness, and printed to stdout for
+``pytest -s`` runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def report(experiment: str, lines: list[str]) -> str:
+    """Write *lines* to the experiment's result file and return the text."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines) + "\n"
+    (RESULTS_DIR / f"{experiment}.txt").write_text(text)
+    print(f"\n=== {experiment} ===\n{text}")
+    return text

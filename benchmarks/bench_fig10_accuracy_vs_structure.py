@@ -1,0 +1,44 @@
+"""Figure 10: mean validation accuracy vs graph depth and graph width.
+
+Paper reference: accuracy peaks at depth 3 and keeps improving with width up
+to 5; pushing depth beyond three hurts accuracy.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import accuracy_by_structure, optimal_structure
+
+from _reporting import report
+
+
+def test_fig10_accuracy_vs_depth_and_width(benchmark, bench_dataset):
+    def run():
+        return (
+            accuracy_by_structure(bench_dataset, "depth"),
+            accuracy_by_structure(bench_dataset, "width"),
+            optimal_structure(bench_dataset),
+        )
+
+    depth_stats, width_stats, best = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["Figure 10 — accuracy vs graph depth and width (box-plot summaries)"]
+    for label, stats in (("depth", depth_stats), ("width", width_stats)):
+        lines.append(f"{label:>6}  {'n':>6} {'median':>8} {'p25':>8} {'p75':>8} {'max':>8}")
+        for group in stats:
+            lines.append(
+                f"{group.group:>6}  {group.count:>6} {group.median:>8.4f} "
+                f"{group.p25:>8.4f} {group.p75:>8.4f} {group.maximum:>8.4f}"
+            )
+    lines.append(f"best median accuracy at depth {best['depth']}, width {best['width']}")
+    report("fig10_accuracy_vs_structure", lines)
+
+    # Paper: moderate depth is optimal (around 3) and the deepest graphs are
+    # not the most accurate; wider graphs do not hurt accuracy.
+    assert 2 <= best["depth"] <= 5
+    assert best["width"] >= 3
+    populous = {g.group: g.median for g in depth_stats if g.count >= 10}
+    if populous:
+        # The shallowest populous depth never loses badly to the deepest one.
+        assert populous[min(populous)] >= populous[max(populous)] - 0.01
+    by_width = {group.group: group.median for group in width_stats if group.count >= 10}
+    assert by_width[max(by_width)] >= by_width[min(by_width)] - 0.005

@@ -1,0 +1,43 @@
+"""Figure 11: latency vs graph depth and width for every accelerator class.
+
+Paper reference: latency grows with graph depth (longer dependency chains keep
+full channel counts), dips at depths four/five where the average parameter
+count drops (Table 7), and *decreases* with graph width thanks to the extra
+parallelism between operations.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import latency_by_structure
+
+from _reporting import report
+
+
+def test_fig11_latency_vs_depth_and_width(benchmark, bench_measurements):
+    def run():
+        return {
+            name: {
+                "depth": latency_by_structure(bench_measurements, name, "depth"),
+                "width": latency_by_structure(bench_measurements, name, "width"),
+            }
+            for name in bench_measurements.config_names
+        }
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["Figure 11 — median latency (ms) vs graph depth and width"]
+    for name, groups in stats.items():
+        for attribute in ("depth", "width"):
+            summary = ", ".join(
+                f"{group.group}:{group.median:.3f}" for group in groups[attribute]
+            )
+            lines.append(f"{name} by {attribute}: {summary}")
+    report("fig11_latency_vs_structure", lines)
+
+    for name, groups in stats.items():
+        depth_median = {group.group: group.median for group in groups["depth"]}
+        width_median = {group.group: group.median for group in groups["width"]}
+        # Deep chains are slower than shallow graphs on every class...
+        assert depth_median[max(depth_median)] > depth_median[min(depth_median)]
+        # ... while wide graphs are not slower than the narrowest ones.
+        assert width_median[max(width_median)] <= width_median[min(width_median)] * 1.25

@@ -1,0 +1,57 @@
+"""Figure 12: operation count vs latency per operation type and configuration.
+
+Paper reference: latency grows with the number of 3x3 convolutions (the
+parameter-heavy operation); for a fixed conv3x3 count the latency still spans
+a wide range (0.2-5 ms) depending on the graph structure; the extreme-accuracy
+annotations are 95.055% (4x conv3x3) and ~9.5% (failed runs).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import accuracy_annotations, operation_count_vs_latency
+
+from _reporting import report
+
+OPERATIONS = ("conv3x3", "conv1x1", "maxpool3x3")
+
+
+def test_fig12_operation_count_vs_latency(benchmark, bench_measurements):
+    def run():
+        groups = {
+            (name, operation): operation_count_vs_latency(bench_measurements, name, operation)
+            for name in bench_measurements.config_names
+            for operation in OPERATIONS
+        }
+        annotations = {
+            operation: accuracy_annotations(bench_measurements, operation)
+            for operation in OPERATIONS
+        }
+        return groups, annotations
+
+    groups, annotations = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["Figure 12 — operation count vs latency (avg latency in ms per count)"]
+    for operation in OPERATIONS:
+        best, worst = annotations[operation]
+        lines.append(
+            f"{operation}: max accuracy {best.accuracy:.3%} at count {best.operation_count}, "
+            f"min accuracy {worst.accuracy:.3%} at count {worst.operation_count}"
+        )
+        for name in bench_measurements.config_names:
+            row = ", ".join(
+                f"{group.count}:{group.avg_latency_ms:.3f}"
+                for group in groups[(name, operation)]
+            )
+            lines.append(f"    {name}: {row}")
+    report("fig12_opcount_vs_latency", lines)
+
+    # Latency increases with the number of 3x3 convolutions on every class,
+    # and the spread within a fixed count stays wide (graph-structure effect).
+    for name in bench_measurements.config_names:
+        conv_groups = [g for g in groups[(name, "conv3x3")] if g.num_models >= 5]
+        assert conv_groups[-1].avg_latency_ms > conv_groups[0].avg_latency_ms
+        multi = [g for g in conv_groups if g.count >= 3 and g.num_models >= 5]
+        if multi:
+            assert multi[-1].max_latency_ms > 2 * multi[-1].min_latency_ms
+    best, _ = annotations["conv3x3"]
+    assert best.accuracy > 0.95

@@ -1,0 +1,40 @@
+"""Figure 13: latency extremes among cells with five 3x3 convolutions.
+
+Paper reference: with the operation multiset held fixed (five conv3x3), the
+shallow/wide cell runs in 0.36 ms while the depth-6 chain takes 4.94 ms on V2
+— an order-of-magnitude spread explained by the channel arithmetic (deep
+chains keep full channel counts and therefore far more parameters).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import latency_extremes_for_conv_count
+
+from _reporting import report
+
+
+def test_fig13_conv_heavy_latency_extremes(benchmark, bench_measurements):
+    extremes = benchmark.pedantic(
+        lambda: latency_extremes_for_conv_count(bench_measurements, "V2", num_conv3x3=5),
+        rounds=1,
+        iterations=1,
+    )
+    fastest, slowest = extremes
+
+    lines = [
+        "Figure 13 — latency extremes among cells with five 3x3 convolutions (V2)",
+        f"{'':<10}{'latency (ms)':>14}{'depth':>8}{'params':>14}{'accuracy':>10}",
+        f"{'fastest':<10}{fastest.latency_ms:>14.4f}{fastest.depth:>8}"
+        f"{fastest.record.trainable_parameters:>14,}"
+        f"{fastest.record.mean_validation_accuracy:>10.4f}",
+        f"{'slowest':<10}{slowest.latency_ms:>14.4f}{slowest.depth:>8}"
+        f"{slowest.record.trainable_parameters:>14,}"
+        f"{slowest.record.mean_validation_accuracy:>10.4f}",
+        "(paper: 0.36 ms at depth 3 vs 4.94 ms at depth 6)",
+    ]
+    report("fig13_depth_extremes", lines)
+
+    # The slow extreme is a much deeper, much heavier cell than the fast one.
+    assert slowest.latency_ms > 3 * fastest.latency_ms
+    assert slowest.depth > fastest.depth
+    assert slowest.record.trainable_parameters > fastest.record.trainable_parameters

@@ -1,0 +1,65 @@
+"""Figure 14: trainable parameters vs latency and the configuration crossover.
+
+Paper reference: latency is mostly proportional to the number of trainable
+parameters on every class; very small models are equally fast everywhere,
+medium models (5-30M parameters) run fastest on V1 (its larger on-chip SRAM
+caches more of the weights), and the largest models flip to V2/V3 (higher
+memory bandwidth) with V2 ahead of V3 thanks to its higher sustained
+bandwidth.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import crossover_analysis, latency_parameter_correlation
+
+from _reporting import report
+
+BAND_EDGES = (0.0, 1e6, 2e6, 5e6, 10e6, 20e6, 30e6, 1e9)
+
+
+def test_fig14_parameters_vs_latency(benchmark, bench_measurements):
+    def run():
+        correlations = {
+            name: latency_parameter_correlation(bench_measurements, name)
+            for name in bench_measurements.config_names
+        }
+        bands = crossover_analysis(bench_measurements, band_edges=BAND_EDGES)
+        return correlations, bands
+
+    correlations, bands = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["Figure 14 — trainable parameters vs latency"]
+    lines.append(
+        "Pearson correlation(params, latency): "
+        + ", ".join(f"{name}: {value:.3f}" for name, value in correlations.items())
+    )
+    lines.append(
+        f"{'parameter band':<24}{'# models':>10}"
+        + "".join(f"{name:>12}" for name in bench_measurements.config_names)
+        + f"{'fastest':>10}"
+    )
+    for band in bands:
+        label = f"[{band.lower_parameters / 1e6:.0f}M, {band.upper_parameters / 1e6:.0f}M)"
+        lines.append(
+            f"{label:<24}{band.num_models:>10}"
+            + "".join(
+                f"{band.avg_latency_ms[name]:>12.3f}"
+                for name in bench_measurements.config_names
+            )
+            + f"{band.fastest_config:>10}"
+        )
+    report("fig14_params_vs_latency", lines)
+
+    # Latency tracks parameters on every class.
+    assert all(value > 0.75 for value in correlations.values())
+    by_lower = {band.lower_parameters: band for band in bands}
+    # Medium band (5-30M): V1 fastest.  Largest band (>30M): V2 fastest.
+    for lower in (5e6, 10e6, 20e6):
+        if lower in by_lower:
+            assert by_lower[lower].fastest_config == "V1"
+    if 30e6 in by_lower:
+        assert by_lower[30e6].fastest_config == "V2"
+    # Very small models: the classes are within ~35% of each other.
+    smallest = by_lower[0.0]
+    values = list(smallest.avg_latency_ms.values())
+    assert max(values) < 1.35 * min(values)

@@ -1,0 +1,65 @@
+"""Figure 15: latency impact of swapping cell operations.
+
+Paper reference: replacing a 1x1 convolution by a 3x3 convolution increases
+latency on every class (the increase is smallest, ~174%, on V2); the change is
+not symmetric (swapping 3x3 -> 1x1 gives roughly -100%); max-pool -> conv3x3
+behaves like conv1x1 -> conv3x3.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis import operation_swap_matrix
+from repro.nasbench import CONV1X1, CONV3X3, MAXPOOL3X3
+
+from _reporting import report
+
+#: Number of models swapped per configuration (the paper sweeps the full 423K).
+SWAP_SAMPLE = int(os.environ.get("REPRO_FIG15_MODELS", "120"))
+
+_LABELS = {CONV3X3: "Conv 3x3", CONV1X1: "Conv 1x1", MAXPOOL3X3: "MaxPool 3x3"}
+
+
+def test_fig15_operation_swaps(benchmark, bench_dataset, bench_configs):
+    records = bench_dataset.records
+
+    def run():
+        return {
+            name: operation_swap_matrix(records, config, max_models=SWAP_SAMPLE, seed=1)
+            for name, config in bench_configs.items()
+        }
+
+    matrices = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    operations = (CONV3X3, CONV1X1, MAXPOOL3X3)
+    lines = [f"Figure 15 — average latency change when swapping operations ({SWAP_SAMPLE} models)"]
+    for name, matrix in matrices.items():
+        lines.append(f"{name}: average change in latency, ms (rows: original, cols: replacement)")
+        lines.append(f"{'':<14}" + "".join(f"{_LABELS[op]:>14}" for op in operations))
+        for from_op in operations:
+            lines.append(
+                f"{_LABELS[from_op]:<14}"
+                + "".join(f"{matrix.change_ms(from_op, to_op):>14.3f}" for to_op in operations)
+            )
+        lines.append(f"{name}: average % change in latency")
+        for from_op in operations:
+            lines.append(
+                f"{_LABELS[from_op]:<14}"
+                + "".join(
+                    f"{matrix.change_percent(from_op, to_op):>14.1f}" for to_op in operations
+                )
+            )
+    report("fig15_operation_swaps", lines)
+
+    for name, matrix in matrices.items():
+        # Upgrading an op to conv3x3 increases latency; downgrading decreases it.
+        assert matrix.change_ms(CONV1X1, CONV3X3) > 0
+        assert matrix.change_ms(MAXPOOL3X3, CONV3X3) > 0
+        assert matrix.change_ms(CONV3X3, CONV1X1) < 0
+        assert matrix.change_ms(CONV3X3, MAXPOOL3X3) < 0
+        # The swap matrix is not symmetric (paper observation).
+        assert abs(
+            matrix.change_percent(CONV1X1, CONV3X3)
+            + matrix.change_percent(CONV3X3, CONV1X1)
+        ) > 1.0

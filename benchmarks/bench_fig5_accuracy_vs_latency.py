@@ -1,0 +1,55 @@
+"""Figure 5: mean validation accuracy vs latency scatter per configuration.
+
+Paper reference: the population clusters into latency buckets driven by the
+number of 3x3 convolutions per cell (the first three buckets average 1.48,
+2.0 and 3.0 conv3x3 operations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import accuracy_latency_scatter
+
+from _reporting import report
+
+
+def test_fig5_accuracy_vs_latency(benchmark, bench_measurements):
+    def run():
+        return {
+            name: accuracy_latency_scatter(bench_measurements, name, min_accuracy=0.70)
+            for name in bench_measurements.config_names
+        }
+
+    scatters = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["Figure 5 — accuracy vs latency scatter (models with >= 70% accuracy)"]
+    conv_counts = np.array(
+        [record.metrics.num_conv3x3 for record in bench_measurements.dataset]
+    )
+    for name, points in scatters.items():
+        latencies = np.array([p.latency_ms for p in points])
+        accuracies = np.array([p.accuracy for p in points])
+        lines.append(
+            f"{name}: {len(points)} points, latency [{latencies.min():.3f}, "
+            f"{latencies.max():.3f}] ms, accuracy [{accuracies.min():.3f}, {accuracies.max():.3f}]"
+        )
+        # Latency-bucket structure: average conv3x3 count per latency band.
+        edges = [0.0, 0.3, 0.8, 1.5, 3.0, np.inf]
+        for low, high in zip(edges[:-1], edges[1:]):
+            indices = [p.model_index for p in points if low <= p.latency_ms < high]
+            if indices:
+                lines.append(
+                    f"    latency [{low:.1f}, {high if high != np.inf else 'inf'}) ms: "
+                    f"{len(indices):4d} models, avg conv3x3 = {conv_counts[indices].mean():.2f}"
+                )
+    report("fig5_accuracy_vs_latency", lines)
+
+    # Higher-latency bands contain cells with more 3x3 convolutions (the
+    # bucket structure the paper describes).
+    for name, points in scatters.items():
+        latencies = np.array([p.latency_ms for p in points])
+        indices = np.array([p.model_index for p in points])
+        slow = conv_counts[indices[latencies > np.median(latencies)]].mean()
+        fast = conv_counts[indices[latencies <= np.median(latencies)]].mean()
+        assert slow > fast

@@ -1,0 +1,54 @@
+"""Figure 6: inference latency vs inference energy scatter for V1 and V2.
+
+Paper reference: energy is linear in latency; V2 is more energy-efficient for
+low-latency (small) models while V1 wins back ground on the large models
+thanks to its bigger on-chip memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import energy_latency_linear_fit, latency_energy_scatter
+
+from _reporting import report
+
+
+def test_fig6_latency_vs_energy(benchmark, bench_measurements):
+    def run():
+        return {
+            name: latency_energy_scatter(bench_measurements, name)
+            for name in ("V1", "V2")
+        }
+
+    scatters = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["Figure 6 — latency vs energy scatter (V1 and V2, >= 70% accuracy)"]
+    fits = {}
+    for name, points in scatters.items():
+        slope, intercept = energy_latency_linear_fit(points)
+        fits[name] = (slope, intercept)
+        energies = np.array([p.energy_mj for p in points])
+        lines.append(
+            f"{name}: {len(points)} points, energy [{energies.min():.2f}, {energies.max():.2f}] mJ, "
+            f"linear fit energy = {slope:.2f} * latency + {intercept:.2f}"
+        )
+    # Small-model vs large-model comparison (the crossover the paper reports).
+    params = bench_measurements.dataset.parameter_counts()
+    small = params < 3e6
+    large = params > 20e6
+    small_v1 = np.nanmean(bench_measurements.energies("V1")[small])
+    small_v2 = np.nanmean(bench_measurements.energies("V2")[small])
+    lines.append(f"small models (<3M params): avg energy V1 {small_v1:.2f} mJ, V2 {small_v2:.2f} mJ")
+    if large.any():
+        large_v1 = np.nanmean(bench_measurements.energies("V1")[large])
+        large_v2 = np.nanmean(bench_measurements.energies("V2")[large])
+        lines.append(
+            f"large models (>20M params): avg energy V1 {large_v1:.2f} mJ, V2 {large_v2:.2f} mJ"
+        )
+    report("fig6_latency_vs_energy", lines)
+
+    # Energy grows linearly with latency, and V2 is the more efficient class
+    # on the small models.
+    assert fits["V1"][0] > 0 and fits["V2"][0] > 0
+    assert small_v2 < small_v1

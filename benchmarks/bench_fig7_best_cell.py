@@ -1,0 +1,39 @@
+"""Figure 7: the highest-accuracy NASBench cell and its latency per class.
+
+Paper reference: the 95.055%-accuracy cell (four 3x3 convolutions, ~41.6M
+parameters) runs in 4.63 / 4.19 / 4.54 ms on V1 / V2 / V3 — V2 wins.
+"""
+
+from __future__ import annotations
+
+from repro import PerformanceSimulator, build_network
+from repro.nasbench import BEST_ACCURACY_CELL, BEST_ACCURACY_VALUE
+
+from _reporting import report
+
+
+def test_fig7_best_accuracy_cell(benchmark, bench_configs):
+    network = build_network(BEST_ACCURACY_CELL)
+
+    def run():
+        return {
+            name: PerformanceSimulator(config).simulate(network)
+            for name, config in bench_configs.items()
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    paper = {"V1": 4.633768, "V2": 4.185697, "V3": 4.535305}
+    lines = [
+        "Figure 7 — highest-accuracy cell (4x conv3x3) latency per configuration",
+        f"accuracy: {BEST_ACCURACY_VALUE:.3%}, parameters: {network.trainable_parameters:,}",
+        f"{'config':<8}{'latency (ms)':>14}{'paper (ms)':>12}{'streamed weights':>18}",
+    ]
+    for name, result in results.items():
+        lines.append(
+            f"{name:<8}{result.latency_ms:>14.4f}{paper[name]:>12.3f}"
+            f"{result.streamed_weight_bytes / 1e6:>16.1f}MB"
+        )
+    report("fig7_best_cell", lines)
+
+    assert results["V2"].latency_ms < results["V3"].latency_ms < results["V1"].latency_ms

@@ -1,0 +1,58 @@
+"""Figure 8: the second-best-accuracy cell, its latency and speedups.
+
+Paper reference: giving up 0.16% accuracy (95.055% -> 94.895%) buys a model
+with 66% fewer parameters and up to 1.78x lower latency; for this cell V1 —
+not V2 — yields the lowest latency.
+"""
+
+from __future__ import annotations
+
+from repro import PerformanceSimulator, build_network
+from repro.nasbench import (
+    BEST_ACCURACY_CELL,
+    SECOND_BEST_ACCURACY_CELL,
+    SECOND_BEST_ACCURACY_VALUE,
+)
+
+from _reporting import report
+
+
+def test_fig8_second_best_cell(benchmark, bench_configs):
+    best_network = build_network(BEST_ACCURACY_CELL)
+    second_network = build_network(SECOND_BEST_ACCURACY_CELL)
+
+    def run():
+        out = {}
+        for name, config in bench_configs.items():
+            simulator = PerformanceSimulator(config)
+            out[name] = (
+                simulator.simulate(second_network).latency_ms,
+                simulator.simulate(best_network).latency_ms,
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    paper = {"V1": (2.597874, 1.78), "V2": (2.679829, 1.56), "V3": (2.799071, 1.62)}
+    lines = [
+        "Figure 8 — second-best accuracy cell (2x conv3x3 + 2x conv1x1)",
+        f"accuracy: {SECOND_BEST_ACCURACY_VALUE:.3%}, parameters: "
+        f"{second_network.trainable_parameters:,} "
+        f"({1 - second_network.trainable_parameters / best_network.trainable_parameters:.0%} fewer "
+        "than the best cell)",
+        f"{'config':<8}{'latency (ms)':>14}{'speedup vs best':>17}{'paper (ms, x)':>18}",
+    ]
+    for name, (second_latency, best_latency) in results.items():
+        speedup = best_latency / second_latency
+        lines.append(
+            f"{name:<8}{second_latency:>14.4f}{speedup:>16.2f}x"
+            f"{paper[name][0]:>12.3f}, {paper[name][1]:.2f}x"
+        )
+    report("fig8_second_best_cell", lines)
+
+    # The runner-up is substantially faster than the best model on every class,
+    # the parameter reduction is large, and V1 serves it fastest (paper Fig. 8).
+    for name, (second_latency, best_latency) in results.items():
+        assert best_latency / second_latency > 1.3
+    assert second_network.trainable_parameters < 0.7 * best_network.trainable_parameters
+    assert results["V1"][0] == min(latency for latency, _ in results.values())

@@ -1,0 +1,39 @@
+"""Figure 9: latency vs accuracy for the five most accurate models.
+
+Paper reference: the regions of the accuracy-ranked curve alternate between
+V2 and V1 as the lowest-latency class — V2 serves the most accurate model
+fastest, V1 the next ones (which contain more 1x1 convolutions).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import top_models_by_accuracy
+
+from _reporting import report
+
+
+def test_fig9_top5_accuracy_models(benchmark, bench_measurements):
+    entries = benchmark.pedantic(
+        lambda: top_models_by_accuracy(bench_measurements, k=5), rounds=1, iterations=1
+    )
+
+    lines = [
+        "Figure 9 — top-5 accuracy models and their lowest-latency configuration",
+        f"{'rank':<6}{'accuracy':>10}{'params':>14}"
+        + "".join(f"{name:>12}" for name in bench_measurements.config_names)
+        + f"{'fastest':>10}",
+    ]
+    for entry in entries:
+        lines.append(
+            f"{entry.rank:<6}{entry.accuracy:>10.4f}{entry.record.trainable_parameters:>14,}"
+            + "".join(f"{entry.latency_ms[name]:>12.4f}" for name in bench_measurements.config_names)
+            + f"{entry.fastest_config:>10}"
+        )
+    report("fig9_top5_models", lines)
+
+    assert len(entries) == 5
+    assert entries[0].accuracy > entries[-1].accuracy
+    # Paper: the best model is served fastest by V2; more than one class appears
+    # across the top-5 winners (the dashed-line regions of Figure 9).
+    assert entries[0].fastest_config == "V2"
+    assert len({entry.fastest_config for entry in entries}) >= 2

@@ -1,0 +1,36 @@
+"""Table 1: distribution of NASBench models across trainable-parameter intervals.
+
+Paper reference values (full 423,624-model population): ten equal-width
+intervals spanning [227,274 — 49,979,274], heavily skewed towards the small
+end (210,673 models in the first interval).
+"""
+
+from __future__ import annotations
+
+from repro.nasbench import parameter_distribution
+
+from _reporting import report
+
+
+def test_table1_parameter_distribution(benchmark, bench_dataset):
+    def run():
+        return parameter_distribution(bench_dataset.parameter_counts(), num_intervals=10)
+
+    intervals = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    total = sum(interval.count for interval in intervals)
+    lines = [
+        "Table 1 — distribution of models across trainable-parameter intervals",
+        f"(sampled population: {total} models; paper population: 423,624 models)",
+        f"{'interval':>32} {'# of models':>12} {'fraction':>10}",
+    ]
+    for interval in intervals:
+        lines.append(
+            f"[{interval.lower:>12,} — {interval.upper:>12,}) "
+            f"{interval.count:>12} {interval.count / total:>9.1%}"
+        )
+    report("table1_param_distribution", lines)
+
+    assert total == len(bench_dataset)
+    # The paper's population is heavily skewed towards small models.
+    assert intervals[0].count > intervals[-1].count

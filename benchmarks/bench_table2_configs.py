@@ -1,0 +1,47 @@
+"""Table 2: microarchitectural parameters of the three Edge TPU classes.
+
+This benchmark does not measure a workload; it regenerates the configuration
+table from the :class:`AcceleratorConfig` presets and checks that the derived
+peak-TOPS figures match the published ones (26.2 / 8.73 / 8.73).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import STUDIED_CONFIGS
+
+from _reporting import report
+
+PAPER_PEAK_TOPS = {"V1": 26.2, "V2": 8.73, "V3": 8.73}
+
+
+def test_table2_configurations(benchmark):
+    def run():
+        return {name: config.summary() for name, config in STUDIED_CONFIGS.items()}
+
+    summaries = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    fields = [
+        "clock_mhz",
+        "pes",
+        "pe_memory_bytes",
+        "cores_per_pe",
+        "core_memory_bytes",
+        "compute_lanes",
+        "instruction_memory_entries",
+        "parameter_memory_entries",
+        "activation_memory_entries",
+        "io_bandwidth_gbps",
+        "peak_tops",
+    ]
+    lines = ["Table 2 — microarchitecture parameters of the studied Edge TPU classes"]
+    lines.append(f"{'parameter':<30}" + "".join(f"{name:>16}" for name in summaries))
+    for field in fields:
+        lines.append(
+            f"{field:<30}" + "".join(f"{str(summary[field]):>16}" for summary in summaries.values())
+        )
+    report("table2_configs", lines)
+
+    for name, summary in summaries.items():
+        assert summary["peak_tops"] == pytest.approx(PAPER_PEAK_TOPS[name], rel=0.01)

@@ -1,0 +1,49 @@
+"""Table 5: per-configuration winner buckets.
+
+Paper reference: 392,725 models are served fastest by V1, 24,325 by V2 and
+6,570 by V3; the V2 bucket holds the high-latency models and the V3 bucket
+yields 10.4x / 1.24x average speedups over V1 / V2 on its models.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import bucket_speedups, winner_buckets
+
+from _reporting import report
+
+
+def test_table5_winner_buckets(benchmark, bench_measurements):
+    buckets = benchmark.pedantic(
+        lambda: winner_buckets(bench_measurements), rounds=1, iterations=1
+    )
+
+    lines = [
+        "Table 5 — average latency/energy of the models won by each configuration",
+        f"{'bucket':<16}{'# models':>10}"
+        + "".join(f"{name + ' lat(ms)':>14}" for name in bench_measurements.config_names)
+        + "".join(f"{name + ' E(mJ)':>13}" for name in ("V1", "V2")),
+    ]
+    for name, bucket in buckets.items():
+        row = f"Latency({name})<= {bucket.num_models:>10}"
+        for other in bench_measurements.config_names:
+            row += f"{bucket.avg_latency_ms[other]:>14.3f}"
+        for other in ("V1", "V2"):
+            energy = bucket.avg_energy_mj[other]
+            row += f"{(f'{energy:.2f}' if energy is not None else 'N/A'):>13}"
+        lines.append(row)
+    for name, bucket in buckets.items():
+        if bucket.num_models:
+            speedups = bucket_speedups(bucket)
+            lines.append(
+                f"speedup of {name} on its bucket: "
+                + ", ".join(f"{k}: {v:.2f}x" for k, v in speedups.items())
+            )
+    report("table5_winner_buckets", lines)
+
+    total = sum(bucket.num_models for bucket in buckets.values())
+    assert total == len(bench_measurements.dataset)
+    # Paper: V1 wins the overwhelming majority of models; V2's bucket holds
+    # models that are much slower than the V1 bucket's.
+    assert buckets["V1"].num_models > 0.7 * total
+    if buckets["V2"].num_models:
+        assert buckets["V2"].avg_latency_ms["V2"] > buckets["V1"].avg_latency_ms["V1"]

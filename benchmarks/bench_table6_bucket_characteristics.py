@@ -1,0 +1,53 @@
+"""Table 6: model characteristics of the first vs last winner bucket.
+
+Paper reference: the V1 bucket averages 1.53 conv3x3 / 1.65 conv1x1 / 7.05M
+parameters, whereas the V3 bucket averages 0.78 conv3x3 / 2.17 conv1x1 / 1.42M
+parameters — i.e. the V3-won models are small and 1x1-convolution heavy.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import bucket_characteristics, winner_buckets
+
+from _reporting import report
+
+
+def test_table6_bucket_characteristics(benchmark, bench_measurements):
+    def run():
+        buckets = winner_buckets(bench_measurements)
+        return {
+            name: bucket_characteristics(bench_measurements, bucket)
+            for name, bucket in buckets.items()
+            if bucket.num_models > 0
+        }
+
+    characteristics = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        "Table 6 — characteristics of the winner buckets",
+        f"{'characteristic':<30}" + "".join(f"Latency({name})<=".rjust(16) for name in characteristics),
+    ]
+    rows = [
+        ("Avg. # of Conv 3x3", lambda c: f"{c.avg_conv3x3:.2f}"),
+        ("Avg. # of Conv 1x1", lambda c: f"{c.avg_conv1x1:.2f}"),
+        ("Avg. # of MaxPool 3x3", lambda c: f"{c.avg_maxpool3x3:.2f}"),
+        ("Avg. Graph Depth", lambda c: f"{c.avg_graph_depth:.2f}"),
+        ("Avg. # of Trainable Params", lambda c: f"{c.avg_trainable_parameters:,.0f}"),
+        ("# of models", lambda c: str(c.num_models)),
+    ]
+    for label, getter in rows:
+        lines.append(
+            f"{label:<30}" + "".join(getter(c).rjust(16) for c in characteristics.values())
+        )
+    report("table6_bucket_characteristics", lines)
+
+    v1 = characteristics["V1"]
+    assert v1.avg_trainable_parameters > 0
+    # Paper: the non-V1 buckets contain the extremes of the size distribution —
+    # V2 wins the big conv3x3-heavy models, V3 the small conv1x1-heavy ones.
+    if "V2" in characteristics:
+        assert characteristics["V2"].avg_trainable_parameters > v1.avg_trainable_parameters
+    if "V3" in characteristics:
+        v3 = characteristics["V3"]
+        assert v3.avg_trainable_parameters < v1.avg_trainable_parameters
+        assert v3.avg_conv3x3 <= v1.avg_conv3x3

@@ -1,0 +1,35 @@
+"""Table 7: average number of trainable parameters vs graph depth.
+
+Paper reference: depth 3 -> 7.44M, depth 4 -> 6.14M, depth 5 -> 6.40M,
+depth 6 -> 8.43M — i.e. the mid depths are *lighter* on average, which is why
+the latency-vs-depth trend of Figure 11 dips at depths four and five.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import parameters_by_depth
+
+from _reporting import report
+
+
+def test_table7_parameters_vs_depth(benchmark, bench_dataset):
+    rows = benchmark.pedantic(
+        lambda: parameters_by_depth(bench_dataset), rounds=1, iterations=1
+    )
+
+    lines = [
+        "Table 7 — average number of trainable parameters vs graph depth",
+        f"{'graph depth':>12}{'# models':>10}{'avg. # of parameters':>24}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.depth:>12}{row.num_models:>10}{row.avg_trainable_parameters:>24,.0f}"
+        )
+    report("table7_params_vs_depth", lines)
+
+    assert sum(row.num_models for row in rows) == len(bench_dataset)
+    by_depth = {row.depth: row.avg_trainable_parameters for row in rows}
+    # Deep chains keep full channel counts, so depth-6 cells are the heaviest
+    # on average (as in the paper's Table 7).
+    if 6 in by_depth and 4 in by_depth:
+        assert by_depth[6] > by_depth[4]

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Train the learned performance model and use it as a simulator replacement.
+
+This example reproduces the paper's Section 4 / Table 8 workflow at small
+scale:
+
+1. sample a population of NASBench cells and measure their latency on one
+   Edge TPU configuration with the performance simulator (the "ground truth");
+2. train the graph-neural-network learned performance model on a 60/20/20
+   split of those measurements;
+3. report the Table 8 metrics (average estimation accuracy, Spearman and
+   Pearson correlation) on the held-out test set;
+4. compare simulator vs learned-model estimates for the paper's named cells,
+   and time both — the learned model answers in well under a millisecond,
+   which is the paper's motivation for using it in design-space exploration.
+
+Run with:  python examples/learned_performance_model.py [num_models] [epochs]
+"""
+
+import sys
+import time
+
+from repro import NASBenchDataset, PerformanceSimulator, get_config, evaluate_dataset
+from repro.core import LearnedPerformanceModel, TrainingSettings
+from repro.nasbench import BEST_ACCURACY_CELL, SECOND_BEST_ACCURACY_CELL, build_network
+
+
+def main(num_models: int = 800, epochs: int = 30, config_name: str = "V1") -> None:
+    config = get_config(config_name)
+
+    print(f"Simulating {num_models} models on {config_name} to collect training data ...")
+    dataset = NASBenchDataset.generate(num_models=num_models, seed=7)
+    measurements = evaluate_dataset(dataset, configs=[config])
+    cells = [record.cell for record in dataset.records]
+    latencies = measurements.latencies(config_name)
+
+    print(f"Training the graph network ({epochs} epochs, batch 16, Adam 1e-3) ...")
+    model = LearnedPerformanceModel(
+        config_name, TrainingSettings(epochs=epochs, seed=1)
+    )
+    history = model.fit(cells, latencies)
+    print(f"  final training loss: {history.train_losses[-1]:.4f}")
+
+    report = model.evaluate("test")
+    print("\n--- Table 8 metrics (held-out test set) ---")
+    for key, value in report.as_row().items():
+        print(f"  {key:>22}: {value}")
+
+    print("\n--- simulator vs learned model on the paper's named cells ---")
+    simulator = PerformanceSimulator(config)
+    for name, cell in [
+        ("Figure 7 best-accuracy cell", BEST_ACCURACY_CELL),
+        ("Figure 8 second-best cell", SECOND_BEST_ACCURACY_CELL),
+    ]:
+        start = time.perf_counter()
+        simulated = simulator.simulate(build_network(cell)).latency_ms
+        simulator_time = time.perf_counter() - start
+        start = time.perf_counter()
+        predicted = model.predict_cell(cell)
+        predictor_time = time.perf_counter() - start
+        print(
+            f"  {name}: simulator {simulated:.3f} ms ({simulator_time * 1e3:.1f} ms to run), "
+            f"learned model {predicted:.3f} ms ({predictor_time * 1e3:.2f} ms to run)"
+        )
+
+
+if __name__ == "__main__":
+    num_models = int(sys.argv[1]) if len(sys.argv) > 1 else 800
+    epochs = int(sys.argv[2]) if len(sys.argv) > 2 else 30
+    main(num_models, epochs)

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that ``pip install -e .`` also works on environments whose setuptools is
+too old to provide PEP 660 editable installs without the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

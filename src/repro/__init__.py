@@ -1,0 +1,71 @@
+"""repro — reproduction of "An Evaluation of Edge TPU Accelerators for CNNs".
+
+The package is organized as:
+
+* :mod:`repro.nasbench` — the NASBench-101-style workload substrate;
+* :mod:`repro.arch` — Edge TPU accelerator configurations and cost models;
+* :mod:`repro.compiler` — the ahead-of-time mapper with parameter caching;
+* :mod:`repro.simulator` — the latency/energy performance model;
+* :mod:`repro.core` — the graph-neural-network learned performance model;
+* :mod:`repro.analysis` — the characterization study (tables and figures).
+
+The most common entry points are re-exported here.
+"""
+
+from .arch import (
+    EDGE_TPU_V1,
+    EDGE_TPU_V2,
+    EDGE_TPU_V3,
+    STUDIED_CONFIGS,
+    AcceleratorConfig,
+    get_config,
+)
+from .core import LearnedPerformanceModel, TrainingSettings
+from .errors import (
+    CompilationError,
+    DatasetError,
+    InvalidCellError,
+    InvalidConfigError,
+    ModelError,
+    ReproError,
+    SimulationError,
+)
+from .nasbench import (
+    Cell,
+    NASBenchDataset,
+    NetworkConfig,
+    build_network,
+    cell_fingerprint,
+    sample_unique_cells,
+)
+from .simulator import MeasurementSet, PerformanceSimulator, evaluate_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcceleratorConfig",
+    "Cell",
+    "CompilationError",
+    "DatasetError",
+    "EDGE_TPU_V1",
+    "EDGE_TPU_V2",
+    "EDGE_TPU_V3",
+    "InvalidCellError",
+    "InvalidConfigError",
+    "LearnedPerformanceModel",
+    "MeasurementSet",
+    "ModelError",
+    "NASBenchDataset",
+    "NetworkConfig",
+    "PerformanceSimulator",
+    "ReproError",
+    "STUDIED_CONFIGS",
+    "SimulationError",
+    "TrainingSettings",
+    "build_network",
+    "cell_fingerprint",
+    "evaluate_dataset",
+    "get_config",
+    "sample_unique_cells",
+    "__version__",
+]

@@ -1,0 +1,115 @@
+"""Per-configuration winner buckets (paper Tables 5 and 6).
+
+The paper splits the NASBench population into three buckets — one per
+accelerator class — where bucket X contains every model whose measured
+inference latency is lowest on configuration X.  Table 5 reports the bucket
+sizes and the average latency/energy of each bucket's models on *all three*
+configurations; Table 6 contrasts the model characteristics (operation counts,
+graph depth, trainable parameters) of the first and last buckets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..nasbench.dataset import ModelRecord
+from ..simulator.runner import MeasurementSet
+
+
+@dataclass(frozen=True)
+class WinnerBucket:
+    """Table 5 row: models won by one configuration."""
+
+    winner: str
+    num_models: int
+    avg_latency_ms: dict[str, float]
+    avg_energy_mj: dict[str, float | None]
+    model_indices: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class BucketCharacteristics:
+    """Table 6 column: average structural characteristics of a bucket."""
+
+    winner: str
+    num_models: int
+    avg_conv3x3: float
+    avg_conv1x1: float
+    avg_maxpool3x3: float
+    avg_graph_depth: float
+    avg_graph_width: float
+    avg_trainable_parameters: float
+
+
+def winner_buckets(measurements: MeasurementSet) -> dict[str, WinnerBucket]:
+    """Split the population into per-configuration winner buckets (Table 5)."""
+    winners = np.array(measurements.best_config_per_model())
+    buckets: dict[str, WinnerBucket] = {}
+    for config_name in measurements.config_names:
+        mask = winners == config_name
+        indices = tuple(int(i) for i in np.nonzero(mask)[0])
+        avg_latency: dict[str, float] = {}
+        avg_energy: dict[str, float | None] = {}
+        for other in measurements.config_names:
+            if mask.any():
+                avg_latency[other] = float(measurements.latencies(other)[mask].mean())
+                energies = measurements.energies(other)[mask]
+                avg_energy[other] = (
+                    float(np.nanmean(energies)) if np.isfinite(energies).any() else None
+                )
+            else:
+                avg_latency[other] = float("nan")
+                avg_energy[other] = None
+        buckets[config_name] = WinnerBucket(
+            winner=config_name,
+            num_models=int(mask.sum()),
+            avg_latency_ms=avg_latency,
+            avg_energy_mj=avg_energy,
+            model_indices=indices,
+        )
+    return buckets
+
+
+def bucket_records(
+    measurements: MeasurementSet, bucket: WinnerBucket
+) -> list[ModelRecord]:
+    """Return the dataset records belonging to *bucket*."""
+    return [measurements.dataset[index] for index in bucket.model_indices]
+
+
+def bucket_characteristics(
+    measurements: MeasurementSet, bucket: WinnerBucket
+) -> BucketCharacteristics:
+    """Compute the Table 6 characteristics of one winner bucket."""
+    records = bucket_records(measurements, bucket)
+    if not records:
+        raise DatasetError(f"bucket {bucket.winner!r} contains no models")
+    return BucketCharacteristics(
+        winner=bucket.winner,
+        num_models=len(records),
+        avg_conv3x3=float(np.mean([r.metrics.num_conv3x3 for r in records])),
+        avg_conv1x1=float(np.mean([r.metrics.num_conv1x1 for r in records])),
+        avg_maxpool3x3=float(np.mean([r.metrics.num_maxpool3x3 for r in records])),
+        avg_graph_depth=float(np.mean([r.metrics.depth for r in records])),
+        avg_graph_width=float(np.mean([r.metrics.width for r in records])),
+        avg_trainable_parameters=float(np.mean([r.trainable_parameters for r in records])),
+    )
+
+
+def bucket_speedups(bucket: WinnerBucket) -> dict[str, float]:
+    """Average speedup of the winning configuration over every configuration.
+
+    For the paper's last bucket (won by V3) this is the "10.4x over V1 and
+    1.24x over V2" style statement.
+    """
+    winner_latency = bucket.avg_latency_ms[bucket.winner]
+    if not winner_latency or np.isnan(winner_latency):
+        raise DatasetError(f"bucket {bucket.winner!r} has no latency data")
+    return {
+        name: latency / winner_latency
+        for name, latency in bucket.avg_latency_ms.items()
+        if not np.isnan(latency)
+    }

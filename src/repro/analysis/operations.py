@@ -1,0 +1,208 @@
+"""Operation-count and model-size analyses (paper Figures 12, 13 and 14).
+
+* Figure 12: for each operation type (3x3 convolution, 1x1 convolution, 3x3
+  max-pooling), the scatter of operation count vs measured latency, annotated
+  with the models attaining the maximum and minimum accuracy in each
+  operation-count category.
+* Figure 13: among the cells with a given number of 3x3 convolutions, the
+  cells with the lowest and highest latency (shallow-and-wide vs deep chains).
+* Figure 14: trainable parameters vs latency per configuration, plus the
+  crossover analysis (which configuration is fastest in which size band).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..nasbench.dataset import ModelRecord
+from ..simulator.runner import MeasurementSet
+
+#: CellMetrics attribute per operation category of Figure 12.
+OPERATION_ATTRIBUTES = {
+    "conv3x3": "num_conv3x3",
+    "conv1x1": "num_conv1x1",
+    "maxpool3x3": "num_maxpool3x3",
+}
+
+
+@dataclass(frozen=True)
+class OperationCountGroup:
+    """One horizontal band of a Figure 12 scatter: a fixed operation count."""
+
+    operation: str
+    count: int
+    num_models: int
+    avg_latency_ms: float
+    min_latency_ms: float
+    max_latency_ms: float
+    max_accuracy: float
+    min_accuracy: float
+
+
+@dataclass(frozen=True)
+class AccuracyAnnotation:
+    """A Figure 12 star marker: extreme accuracy and its operation count."""
+
+    accuracy: float
+    operation_count: int
+    model_index: int
+
+
+def operation_count_vs_latency(
+    measurements: MeasurementSet,
+    config_name: str,
+    operation: str,
+) -> list[OperationCountGroup]:
+    """Figure 12 rows for one operation type and one configuration."""
+    attribute = _attribute_for(operation)
+    latencies = measurements.latencies(config_name)
+    accuracies = measurements.dataset.accuracies()
+
+    groups: dict[int, list[int]] = {}
+    for record in measurements.dataset:
+        groups.setdefault(int(getattr(record.metrics, attribute)), []).append(record.index)
+
+    results = []
+    for count, indices in sorted(groups.items()):
+        idx = np.array(indices, dtype=int)
+        results.append(
+            OperationCountGroup(
+                operation=operation,
+                count=count,
+                num_models=int(idx.size),
+                avg_latency_ms=float(latencies[idx].mean()),
+                min_latency_ms=float(latencies[idx].min()),
+                max_latency_ms=float(latencies[idx].max()),
+                max_accuracy=float(accuracies[idx].max()),
+                min_accuracy=float(accuracies[idx].min()),
+            )
+        )
+    return results
+
+
+def accuracy_annotations(
+    measurements: MeasurementSet, operation: str
+) -> tuple[AccuracyAnnotation, AccuracyAnnotation]:
+    """Figure 12 star markers: (max accuracy, min accuracy) for one operation type."""
+    attribute = _attribute_for(operation)
+    accuracies = measurements.dataset.accuracies()
+    best = int(np.argmax(accuracies))
+    worst = int(np.argmin(accuracies))
+    return (
+        AccuracyAnnotation(
+            accuracy=float(accuracies[best]),
+            operation_count=int(getattr(measurements.dataset[best].metrics, attribute)),
+            model_index=best,
+        ),
+        AccuracyAnnotation(
+            accuracy=float(accuracies[worst]),
+            operation_count=int(getattr(measurements.dataset[worst].metrics, attribute)),
+            model_index=worst,
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class LatencyExtremeCell:
+    """Figure 13: one of the latency extremes among same-op-count cells."""
+
+    record: ModelRecord
+    latency_ms: float
+    depth: int
+
+
+def latency_extremes_for_conv_count(
+    measurements: MeasurementSet,
+    config_name: str,
+    num_conv3x3: int = 5,
+) -> tuple[LatencyExtremeCell, LatencyExtremeCell]:
+    """Figure 13: lowest- and highest-latency cells with *num_conv3x3* 3x3 convs."""
+    candidates = [
+        record
+        for record in measurements.dataset
+        if record.metrics.num_conv3x3 == num_conv3x3
+    ]
+    if len(candidates) < 2:
+        raise DatasetError(
+            f"need at least two models with {num_conv3x3} conv3x3 operations"
+        )
+    latencies = measurements.latencies(config_name)
+
+    def to_extreme(record: ModelRecord) -> LatencyExtremeCell:
+        return LatencyExtremeCell(
+            record=record,
+            latency_ms=float(latencies[record.index]),
+            depth=record.metrics.depth,
+        )
+
+    ordered = sorted(candidates, key=lambda record: latencies[record.index])
+    return to_extreme(ordered[0]), to_extreme(ordered[-1])
+
+
+@dataclass(frozen=True)
+class SizeBand:
+    """Figure 14 crossover analysis: fastest configuration in a size band."""
+
+    lower_parameters: float
+    upper_parameters: float
+    num_models: int
+    avg_latency_ms: dict[str, float]
+    fastest_config: str
+
+
+def parameters_vs_latency(
+    measurements: MeasurementSet, config_name: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """Figure 14 series: (trainable parameters, latency) arrays for one config."""
+    return (
+        measurements.dataset.parameter_counts().astype(float),
+        measurements.latencies(config_name).copy(),
+    )
+
+
+def latency_parameter_correlation(
+    measurements: MeasurementSet, config_name: str
+) -> float:
+    """Pearson correlation between trainable parameters and latency (Figure 14)."""
+    parameters, latencies = parameters_vs_latency(measurements, config_name)
+    return float(np.corrcoef(parameters, latencies)[0, 1])
+
+
+def crossover_analysis(
+    measurements: MeasurementSet,
+    band_edges: tuple[float, ...] = (0.0, 2e6, 5e6, 10e6, 20e6, 30e6, 1e9),
+) -> list[SizeBand]:
+    """Figure 14 crossover: fastest configuration per parameter-size band."""
+    parameters = measurements.dataset.parameter_counts().astype(float)
+    bands = []
+    for lower, upper in zip(band_edges[:-1], band_edges[1:]):
+        mask = (parameters >= lower) & (parameters < upper)
+        if not mask.any():
+            continue
+        avg_latency = {
+            name: float(measurements.latencies(name)[mask].mean())
+            for name in measurements.config_names
+        }
+        fastest = min(avg_latency, key=avg_latency.get)
+        bands.append(
+            SizeBand(
+                lower_parameters=lower,
+                upper_parameters=upper,
+                num_models=int(mask.sum()),
+                avg_latency_ms=avg_latency,
+                fastest_config=fastest,
+            )
+        )
+    return bands
+
+
+def _attribute_for(operation: str) -> str:
+    try:
+        return OPERATION_ATTRIBUTES[operation]
+    except KeyError as exc:
+        raise DatasetError(
+            f"unknown operation {operation!r}; expected one of {sorted(OPERATION_ATTRIBUTES)}"
+        ) from exc

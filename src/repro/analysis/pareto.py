@@ -1,0 +1,106 @@
+"""Accuracy-latency trade-off analyses (paper Figures 5, 7, 8 and 9).
+
+Figure 5 is the accuracy-vs-latency scatter of the whole (filtered)
+population per accelerator class; Figures 7/8 look at the two most accurate
+cells individually; Figure 9 ranks the top-five most accurate models and
+reports which accelerator class serves each with the lowest latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..nasbench.dataset import ModelRecord
+from ..simulator.runner import MeasurementSet
+
+
+@dataclass(frozen=True)
+class AccuracyLatencyPoint:
+    """One point of the Figure 5 scatter."""
+
+    latency_ms: float
+    accuracy: float
+    model_index: int
+
+
+def accuracy_latency_scatter(
+    measurements: MeasurementSet,
+    config_name: str,
+    min_accuracy: float = 0.70,
+) -> list[AccuracyLatencyPoint]:
+    """Figure 5 series for one configuration (models above the accuracy filter)."""
+    mask = measurements.accuracy_mask(min_accuracy)
+    accuracies = measurements.dataset.accuracies()
+    latencies = measurements.latencies(config_name)
+    return [
+        AccuracyLatencyPoint(float(latencies[i]), float(accuracies[i]), int(i))
+        for i in np.nonzero(mask)[0]
+    ]
+
+
+@dataclass(frozen=True)
+class TopModelEntry:
+    """Figure 9 entry: one of the top-k accuracy models with its latencies."""
+
+    rank: int
+    record: ModelRecord
+    accuracy: float
+    latency_ms: dict[str, float]
+    fastest_config: str
+    speedup_over_best_model: dict[str, float]
+
+
+def top_models_by_accuracy(
+    measurements: MeasurementSet, k: int = 5
+) -> list[TopModelEntry]:
+    """Figure 9: the top-*k* accuracy models, annotated with per-config latency.
+
+    The ``speedup_over_best_model`` field expresses, per configuration, how
+    much faster the entry runs than the rank-1 (highest accuracy) model on the
+    same configuration — the Figure 8 "1.78x" style numbers.
+    """
+    if k < 1:
+        raise DatasetError("k must be at least 1")
+    ranked = measurements.dataset.top_k_by_accuracy(k)
+    best = ranked[0]
+    entries = []
+    for rank, record in enumerate(ranked, start=1):
+        latency = {
+            name: float(measurements.latencies(name)[record.index])
+            for name in measurements.config_names
+        }
+        best_latency = {
+            name: float(measurements.latencies(name)[best.index])
+            for name in measurements.config_names
+        }
+        entries.append(
+            TopModelEntry(
+                rank=rank,
+                record=record,
+                accuracy=record.mean_validation_accuracy,
+                latency_ms=latency,
+                fastest_config=min(latency, key=latency.get),
+                speedup_over_best_model={
+                    name: best_latency[name] / latency[name] for name in latency
+                },
+            )
+        )
+    return entries
+
+
+def latency_accuracy_frontier(
+    measurements: MeasurementSet, config_name: str, min_accuracy: float = 0.70
+) -> list[AccuracyLatencyPoint]:
+    """Pareto frontier (non-dominated points) of the Figure 5 scatter."""
+    points = accuracy_latency_scatter(measurements, config_name, min_accuracy)
+    ordered = sorted(points, key=lambda point: point.latency_ms)
+    frontier: list[AccuracyLatencyPoint] = []
+    best_accuracy = -np.inf
+    for point in ordered:
+        if point.accuracy > best_accuracy:
+            frontier.append(point)
+            best_accuracy = point.accuracy
+    return frontier

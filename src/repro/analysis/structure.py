@@ -1,0 +1,127 @@
+"""Graph-structure analyses: depth/width vs accuracy and latency.
+
+Covers Table 7 (average trainable parameters per graph depth), Figure 10
+(mean validation accuracy vs graph depth and width) and Figure 11 (latency vs
+graph depth and width for every accelerator class).  The box-and-whisker
+content of the figures is summarized by per-group distribution statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nasbench.dataset import NASBenchDataset
+from ..simulator.runner import MeasurementSet
+
+
+@dataclass(frozen=True)
+class GroupStatistics:
+    """Distribution summary of one metric within one structural group."""
+
+    group: int
+    count: int
+    mean: float
+    median: float
+    p25: float
+    p75: float
+    minimum: float
+    maximum: float
+
+
+def _group_statistics(values: np.ndarray, group: int) -> GroupStatistics:
+    return GroupStatistics(
+        group=group,
+        count=int(values.size),
+        mean=float(values.mean()),
+        median=float(np.median(values)),
+        p25=float(np.percentile(values, 25)),
+        p75=float(np.percentile(values, 75)),
+        minimum=float(values.min()),
+        maximum=float(values.max()),
+    )
+
+
+def _grouped(dataset: NASBenchDataset, attribute: str) -> dict[int, np.ndarray]:
+    """Indices of dataset records grouped by a CellMetrics attribute."""
+    groups: dict[int, list[int]] = {}
+    for record in dataset:
+        key = int(getattr(record.metrics, attribute))
+        groups.setdefault(key, []).append(record.index)
+    return {key: np.array(indices, dtype=int) for key, indices in sorted(groups.items())}
+
+
+def accuracy_by_structure(
+    dataset: NASBenchDataset, attribute: str = "depth"
+) -> list[GroupStatistics]:
+    """Figure 10: accuracy distribution per graph depth (or width)."""
+    accuracies = dataset.accuracies()
+    return [
+        _group_statistics(accuracies[indices], group)
+        for group, indices in _grouped(dataset, attribute).items()
+    ]
+
+
+def latency_by_structure(
+    measurements: MeasurementSet,
+    config_name: str,
+    attribute: str = "depth",
+    min_accuracy: float | None = 0.70,
+) -> list[GroupStatistics]:
+    """Figure 11: latency distribution per graph depth (or width) for one config."""
+    latencies = measurements.latencies(config_name)
+    mask = (
+        measurements.accuracy_mask(min_accuracy)
+        if min_accuracy is not None
+        else np.ones(len(latencies), dtype=bool)
+    )
+    results = []
+    for group, indices in _grouped(measurements.dataset, attribute).items():
+        kept = indices[mask[indices]]
+        if kept.size == 0:
+            continue
+        results.append(_group_statistics(latencies[kept], group))
+    return results
+
+
+@dataclass(frozen=True)
+class DepthParameterRow:
+    """Table 7 row: average number of trainable parameters at one graph depth."""
+
+    depth: int
+    num_models: int
+    avg_trainable_parameters: float
+
+
+def parameters_by_depth(dataset: NASBenchDataset) -> list[DepthParameterRow]:
+    """Table 7: average trainable-parameter count per graph depth."""
+    parameters = dataset.parameter_counts().astype(float)
+    rows = []
+    for depth, indices in _grouped(dataset, "depth").items():
+        rows.append(
+            DepthParameterRow(
+                depth=depth,
+                num_models=int(indices.size),
+                avg_trainable_parameters=float(parameters[indices].mean()),
+            )
+        )
+    return rows
+
+
+def optimal_structure(dataset: NASBenchDataset, min_group_size: int | None = None) -> dict[str, int]:
+    """Depth and width with the highest median accuracy (paper: depth 3, width 5).
+
+    Groups smaller than *min_group_size* (default: 1% of the population, at
+    least 5 models) are ignored so that a handful of outlier graphs cannot
+    claim the optimum.
+    """
+    if min_group_size is None:
+        min_group_size = max(5, len(dataset) // 100)
+    best: dict[str, int] = {}
+    for attribute in ("depth", "width"):
+        stats = [s for s in accuracy_by_structure(dataset, attribute) if s.count >= min_group_size]
+        if not stats:
+            stats = accuracy_by_structure(dataset, attribute)
+        best[attribute] = max(stats, key=lambda s: s.median).group
+    return best

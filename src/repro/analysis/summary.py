@@ -1,0 +1,158 @@
+"""Population summaries of latency and energy (paper Tables 3 and 4, Figure 6).
+
+Table 3 reports, per accelerator class and over the models with at least 70%
+mean validation accuracy, the minimum / maximum / average inference latency
+and energy, annotating the extremes with the accuracy of the model that
+attains them.  Table 4 reports the latency and energy of the single
+highest-accuracy model.  Figure 6 is the latency-vs-energy scatter for V1 and
+V2 over the same filtered population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..simulator.runner import MeasurementSet
+
+
+@dataclass(frozen=True)
+class ExtremeValue:
+    """A min or max metric value plus the accuracy of the model attaining it."""
+
+    value: float
+    accuracy: float
+    model_index: int
+
+
+@dataclass(frozen=True)
+class ConfigSummary:
+    """One column of Table 3: latency/energy summary for one configuration."""
+
+    config_name: str
+    num_models: int
+    min_latency: ExtremeValue
+    max_latency: ExtremeValue
+    avg_latency_ms: float
+    min_energy: ExtremeValue | None
+    max_energy: ExtremeValue | None
+    avg_energy_mj: float | None
+
+    @property
+    def energy_available(self) -> bool:
+        """Whether the energy model was available for this configuration."""
+        return self.avg_energy_mj is not None
+
+
+def summarize_configuration(
+    measurements: MeasurementSet,
+    config_name: str,
+    min_accuracy: float = 0.70,
+) -> ConfigSummary:
+    """Build the Table 3 column for *config_name*."""
+    mask = measurements.accuracy_mask(min_accuracy)
+    if not mask.any():
+        raise DatasetError("no models pass the accuracy filter")
+    indices = np.nonzero(mask)[0]
+    accuracies = measurements.dataset.accuracies()[mask]
+    latencies = measurements.latencies(config_name)[mask]
+    energies = measurements.energies(config_name)[mask]
+
+    def extreme(values: np.ndarray, argfn) -> ExtremeValue:
+        position = int(argfn(values))
+        return ExtremeValue(
+            value=float(values[position]),
+            accuracy=float(accuracies[position]),
+            model_index=int(indices[position]),
+        )
+
+    has_energy = bool(np.isfinite(energies).any())
+    return ConfigSummary(
+        config_name=config_name,
+        num_models=int(mask.sum()),
+        min_latency=extreme(latencies, np.argmin),
+        max_latency=extreme(latencies, np.argmax),
+        avg_latency_ms=float(latencies.mean()),
+        min_energy=extreme(energies, np.nanargmin) if has_energy else None,
+        max_energy=extreme(energies, np.nanargmax) if has_energy else None,
+        avg_energy_mj=float(np.nanmean(energies)) if has_energy else None,
+    )
+
+
+def summarize_all(
+    measurements: MeasurementSet, min_accuracy: float = 0.70
+) -> dict[str, ConfigSummary]:
+    """Table 3: one :class:`ConfigSummary` per measured configuration."""
+    return {
+        name: summarize_configuration(measurements, name, min_accuracy)
+        for name in measurements.config_names
+    }
+
+
+@dataclass(frozen=True)
+class BestModelReport:
+    """Table 4: latency and energy of the highest-accuracy model."""
+
+    model_index: int
+    accuracy: float
+    trainable_parameters: int
+    latency_ms: dict[str, float]
+    energy_mj: dict[str, float | None]
+
+
+def best_model_report(measurements: MeasurementSet) -> BestModelReport:
+    """Build Table 4 from the measurement set (argmax accuracy model)."""
+    accuracies = measurements.dataset.accuracies()
+    best_index = int(np.argmax(accuracies))
+    record = measurements.dataset[best_index]
+    latency = {
+        name: float(measurements.latencies(name)[best_index])
+        for name in measurements.config_names
+    }
+    energy: dict[str, float | None] = {}
+    for name in measurements.config_names:
+        value = float(measurements.energies(name)[best_index])
+        energy[name] = None if np.isnan(value) else value
+    return BestModelReport(
+        model_index=best_index,
+        accuracy=float(accuracies[best_index]),
+        trainable_parameters=record.trainable_parameters,
+        latency_ms=latency,
+        energy_mj=energy,
+    )
+
+
+@dataclass(frozen=True)
+class LatencyEnergyPoint:
+    """One point of the Figure 6 scatter."""
+
+    latency_ms: float
+    energy_mj: float
+
+
+def latency_energy_scatter(
+    measurements: MeasurementSet,
+    config_name: str,
+    min_accuracy: float = 0.70,
+) -> list[LatencyEnergyPoint]:
+    """Figure 6 series: (latency, energy) pairs for one configuration."""
+    mask = measurements.accuracy_mask(min_accuracy)
+    latencies = measurements.latencies(config_name)[mask]
+    energies = measurements.energies(config_name)[mask]
+    return [
+        LatencyEnergyPoint(float(lat), float(en))
+        for lat, en in zip(latencies, energies)
+        if np.isfinite(en)
+    ]
+
+
+def energy_latency_linear_fit(points: list[LatencyEnergyPoint]) -> tuple[float, float]:
+    """Least-squares slope/intercept of energy vs latency (Figure 6's linearity)."""
+    if len(points) < 2:
+        raise DatasetError("need at least two points to fit a line")
+    latencies = np.array([point.latency_ms for point in points])
+    energies = np.array([point.energy_mj for point in points])
+    slope, intercept = np.polyfit(latencies, energies, 1)
+    return float(slope), float(intercept)

@@ -1,0 +1,146 @@
+"""Operation-swap impact analysis (paper Figure 15).
+
+The paper measures how replacing one cell operation type with another changes
+inference latency: for every NASBench cell, each operation of type A is
+replaced by type B (keeping the adjacency matrix), the resulting model is
+evaluated, and the latency differences are averaged into a 3x3 matrix per
+accelerator class (absolute change in ms and percentage change).
+
+The original methodology looks the swapped cell up in the NASBench dataset
+(skipping swaps whose result does not exist there); since this reproduction
+owns the performance simulator, the swapped cell is simulated directly, which
+evaluates every swap instead of a subset.  Swaps that do not change the cell
+(the operation does not occur) are skipped, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..arch.config import AcceleratorConfig
+from ..nasbench.cell import Cell
+from ..nasbench.dataset import ModelRecord
+from ..nasbench.network import NetworkConfig, build_network
+from ..nasbench.ops import CONV1X1, CONV3X3, INTERIOR_OPS, MAXPOOL3X3
+from ..simulator.engine import PerformanceSimulator
+
+#: Display order of the Figure 15 rows/columns.
+SWAP_OPERATIONS: tuple[str, ...] = (CONV3X3, CONV1X1, MAXPOOL3X3)
+
+
+def swap_operations(cell: Cell, from_op: str, to_op: str) -> Cell | None:
+    """Return *cell* with every *from_op* vertex relabelled to *to_op*.
+
+    Returns ``None`` when the cell does not contain *from_op* (the swap would
+    be a no-op) or when the swap is the identity.
+    """
+    if from_op == to_op:
+        return None
+    if from_op not in INTERIOR_OPS or to_op not in INTERIOR_OPS:
+        raise ValueError(f"swap operations must be interior ops, got {from_op!r} -> {to_op!r}")
+    if cell.op_count(from_op) == 0:
+        return None
+    new_ops = [to_op if op == from_op else op for op in cell.ops]
+    return Cell(cell.numpy_matrix(), new_ops)
+
+
+@dataclass(frozen=True)
+class SwapImpact:
+    """Aggregate latency impact of one (from_op -> to_op) replacement."""
+
+    from_op: str
+    to_op: str
+    num_swaps: int
+    avg_change_ms: float
+    avg_change_percent: float
+
+
+@dataclass(frozen=True)
+class SwapMatrix:
+    """Figure 15 for one accelerator configuration."""
+
+    config_name: str
+    impacts: dict[tuple[str, str], SwapImpact]
+
+    def change_ms(self, from_op: str, to_op: str) -> float:
+        """Average absolute latency change of one swap (0 for the diagonal)."""
+        if from_op == to_op:
+            return 0.0
+        return self.impacts[(from_op, to_op)].avg_change_ms
+
+    def change_percent(self, from_op: str, to_op: str) -> float:
+        """Average percentage latency change of one swap (0 for the diagonal)."""
+        if from_op == to_op:
+            return 0.0
+        return self.impacts[(from_op, to_op)].avg_change_percent
+
+
+def operation_swap_matrix(
+    records: Sequence[ModelRecord],
+    config: AcceleratorConfig,
+    network_config: NetworkConfig | None = None,
+    max_models: int | None = None,
+    seed: int = 0,
+) -> SwapMatrix:
+    """Compute the Figure 15 matrix for one configuration.
+
+    Parameters
+    ----------
+    records:
+        The model population to average over.
+    config:
+        Target accelerator configuration.
+    max_models:
+        Optional cap on how many models are swapped (a deterministic random
+        subset is used); the full population is used when ``None``.
+    """
+    if max_models is not None and len(records) > max_models:
+        rng = np.random.default_rng(seed)
+        chosen = rng.choice(len(records), size=max_models, replace=False)
+        records = [records[int(i)] for i in chosen]
+
+    simulator = PerformanceSimulator(config)
+    baseline_cache: dict[int, float] = {}
+    changes: dict[tuple[str, str], list[tuple[float, float]]] = {
+        (a, b): [] for a in SWAP_OPERATIONS for b in SWAP_OPERATIONS if a != b
+    }
+
+    for position, record in enumerate(records):
+        baseline = baseline_cache.get(position)
+        if baseline is None:
+            baseline = simulator.simulate(
+                build_network(record.cell, network_config)
+            ).latency_ms
+            baseline_cache[position] = baseline
+        for from_op in SWAP_OPERATIONS:
+            for to_op in SWAP_OPERATIONS:
+                if from_op == to_op:
+                    continue
+                swapped = swap_operations(record.cell, from_op, to_op)
+                if swapped is None:
+                    continue
+                swapped_latency = simulator.simulate(
+                    build_network(swapped, network_config)
+                ).latency_ms
+                delta = swapped_latency - baseline
+                percent = 100.0 * delta / baseline
+                changes[(from_op, to_op)].append((delta, percent))
+
+    impacts = {}
+    for key, values in changes.items():
+        if values:
+            deltas = np.array([v[0] for v in values])
+            percents = np.array([v[1] for v in values])
+            impacts[key] = SwapImpact(
+                from_op=key[0],
+                to_op=key[1],
+                num_swaps=len(values),
+                avg_change_ms=float(deltas.mean()),
+                avg_change_percent=float(percents.mean()),
+            )
+        else:
+            impacts[key] = SwapImpact(key[0], key[1], 0, 0.0, 0.0)
+    return SwapMatrix(config_name=config.name, impacts=impacts)

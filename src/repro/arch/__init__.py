@@ -1,0 +1,40 @@
+"""Edge TPU architecture substrate: configurations, memory and energy models."""
+
+from .config import (
+    EDGE_TPU_V1,
+    EDGE_TPU_V2,
+    EDGE_TPU_V3,
+    KIB,
+    MIB,
+    STUDIED_CONFIGS,
+    AcceleratorConfig,
+    get_config,
+)
+from .energy import EnergyParameters, energy_parameters_for
+from .interconnect import (
+    bandwidth_efficiency,
+    on_chip_bytes_per_cycle,
+    sustained_bandwidth_bytes_per_second,
+    sustained_bytes_per_cycle,
+)
+from .memory import MemoryBudget, activation_reserve_bytes, parameter_cache_capacity
+
+__all__ = [
+    "AcceleratorConfig",
+    "EDGE_TPU_V1",
+    "EDGE_TPU_V2",
+    "EDGE_TPU_V3",
+    "EnergyParameters",
+    "KIB",
+    "MIB",
+    "MemoryBudget",
+    "STUDIED_CONFIGS",
+    "activation_reserve_bytes",
+    "bandwidth_efficiency",
+    "energy_parameters_for",
+    "get_config",
+    "on_chip_bytes_per_cycle",
+    "parameter_cache_capacity",
+    "sustained_bandwidth_bytes_per_second",
+    "sustained_bytes_per_cycle",
+]

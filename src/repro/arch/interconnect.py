@@ -1,0 +1,61 @@
+"""Sustained off-chip bandwidth model.
+
+The paper attributes the small but consistent latency difference between V2
+and V3 (same peak TOPS, same 32 GB/s I/O bandwidth) to their architectural
+style: V2 spreads its compute over 16 PEs whereas V3 concentrates it in 4 PEs
+with more cores each.  More PEs mean more independent requestors, more on-chip
+interconnect bandwidth and less contention on shared memory ports, letting V2
+sustain a larger fraction of the peak off-chip bandwidth.
+
+The model here captures that first-order effect: the sustained bandwidth is
+the peak I/O bandwidth scaled by an efficiency factor that saturates with the
+number of PEs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .config import AcceleratorConfig
+
+#: Efficiency of a hypothetical single-PE design.  Sustained DRAM bandwidth on
+#: edge devices is well below the peak interface rate: requests are small
+#: (per-core weight tiles), partially random, and share the bus with
+#: activation traffic and refresh.
+_BASE_EFFICIENCY = 0.30
+#: Efficiency approached by designs with many PEs (many outstanding
+#: requestors keep the interface busier).
+_MAX_EFFICIENCY = 0.46
+#: Number of PEs at which roughly two thirds of the headroom is reached.
+_SATURATION_PES = 6.0
+
+
+def bandwidth_efficiency(num_pes: int) -> float:
+    """Fraction of peak I/O bandwidth sustained by a design with *num_pes* PEs."""
+    if num_pes <= 0:
+        raise ValueError("number of PEs must be positive")
+    headroom = _MAX_EFFICIENCY - _BASE_EFFICIENCY
+    return _BASE_EFFICIENCY + headroom * (1.0 - math.exp(-num_pes / _SATURATION_PES))
+
+
+def sustained_bandwidth_bytes_per_second(config: AcceleratorConfig) -> float:
+    """Sustained off-chip bandwidth of *config* in bytes per second."""
+    return config.io_bandwidth_bytes_per_second * bandwidth_efficiency(config.num_pes)
+
+
+def sustained_bytes_per_cycle(config: AcceleratorConfig) -> float:
+    """Sustained off-chip bandwidth of *config* in bytes per accelerator cycle."""
+    return sustained_bandwidth_bytes_per_second(config) / config.clock_hz
+
+
+def on_chip_bytes_per_cycle(config: AcceleratorConfig) -> float:
+    """Aggregate on-chip (PE memory to core memory) bandwidth in bytes/cycle.
+
+    Cached weights are copied from the PE-memory parameter cache into the
+    per-core staging memories each time a layer executes; every core pulls its
+    own weight slice through a 16-byte port, so the aggregate refill bandwidth
+    scales with the total number of cores.  The value only matters for models
+    whose weights are (mostly) resident on-chip — for streamed models the
+    off-chip bandwidth dominates.
+    """
+    return 16.0 * config.total_cores

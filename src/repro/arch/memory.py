@@ -1,0 +1,57 @@
+"""On-chip memory capacity helpers.
+
+The Edge TPU compiler's parameter-caching optimization (Section 3 of the
+paper) keeps model weights resident in on-chip SRAM across consecutive
+inferences.  Weights are staged in the per-core parameter memories during
+execution, but the much larger PE memories can hold the cached copies; the
+planner therefore works with a single *parameter cache capacity* per
+configuration: the whole core memory plus the fraction of PE memory not
+reserved for activations and partial sums.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import AcceleratorConfig
+
+
+@dataclass(frozen=True)
+class MemoryBudget:
+    """Capacity split of the on-chip SRAM for one compiled model."""
+
+    #: Bytes of PE memory reserved for activations, partials and buffering.
+    activation_reserve_bytes: int
+    #: Bytes available for the cross-inference parameter cache.
+    parameter_cache_bytes: int
+    #: Aggregate core (parameter staging) memory.
+    core_memory_bytes: int
+    #: Aggregate PE (activation) memory.
+    pe_memory_bytes: int
+
+
+def activation_reserve_bytes(config: AcceleratorConfig, max_layer_activation_bytes: int) -> int:
+    """Bytes of PE memory that must stay free for activations.
+
+    The working set of a layer (inputs plus outputs) is double buffered so the
+    next layer's inputs can stream in while the current layer executes.
+    """
+    reserve = 2 * max_layer_activation_bytes
+    return min(reserve, config.total_pe_memory_bytes)
+
+
+def parameter_cache_capacity(
+    config: AcceleratorConfig, max_layer_activation_bytes: int = 0
+) -> MemoryBudget:
+    """Compute the memory budget available to the parameter-cache planner."""
+    reserve = activation_reserve_bytes(config, max_layer_activation_bytes)
+    cacheable_pe_memory = int(
+        max(0, config.total_pe_memory_bytes - reserve) * config.pe_memory_cache_fraction
+    )
+    cache_bytes = cacheable_pe_memory + config.total_core_memory_bytes
+    return MemoryBudget(
+        activation_reserve_bytes=reserve,
+        parameter_cache_bytes=cache_bytes,
+        core_memory_bytes=config.total_core_memory_bytes,
+        pe_memory_bytes=config.total_pe_memory_bytes,
+    )

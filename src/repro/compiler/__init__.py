@@ -1,0 +1,62 @@
+"""Edge TPU compiler substrate: lowering, tiling/mapping and parameter caching."""
+
+from __future__ import annotations
+
+from ..arch.config import AcceleratorConfig
+from ..nasbench.network import NetworkSpec
+from .lowering import SUPPORTED_KINDS, lower_network, max_activation_bytes
+from .param_cache import CachePlan, effective_cache_capacity, plan_parameter_cache
+from .schedule import CompiledLayer, CompiledModel
+from .tiling import LayerMapping, map_layer
+
+
+def compile_model(
+    network: NetworkSpec,
+    config: AcceleratorConfig,
+    enable_parameter_caching: bool = True,
+) -> CompiledModel:
+    """Compile *network* for *config*.
+
+    The compilation pipeline mirrors the ahead-of-time Edge TPU compiler:
+    the network is lowered to the accelerator's operation stream, every
+    operation is mapped onto the PE/core/lane hierarchy, and the parameter
+    cache plan decides which weights stay resident on-chip across inferences.
+    """
+    layers = lower_network(network)
+    cache_plan = plan_parameter_cache(layers, config, enable_caching=enable_parameter_caching)
+
+    compiled_layers = []
+    for layer in layers:
+        mapping = map_layer(layer, config)
+        streamed = cache_plan.streamed_bytes_by_layer.get(layer.name, 0)
+        cached = layer.weight_bytes - streamed
+        compiled_layers.append(
+            CompiledLayer(
+                spec=layer,
+                mapping=mapping,
+                cached_weight_bytes=cached,
+                streamed_weight_bytes=streamed,
+            )
+        )
+
+    return CompiledModel(
+        config=config,
+        network=network,
+        layers=tuple(compiled_layers),
+        cache_plan=cache_plan,
+    )
+
+
+__all__ = [
+    "CachePlan",
+    "CompiledLayer",
+    "CompiledModel",
+    "LayerMapping",
+    "SUPPORTED_KINDS",
+    "compile_model",
+    "effective_cache_capacity",
+    "lower_network",
+    "map_layer",
+    "max_activation_bytes",
+    "plan_parameter_cache",
+]

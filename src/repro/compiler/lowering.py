@@ -1,0 +1,74 @@
+"""Lowering of an expanded network into the accelerator's operation stream.
+
+The Edge TPU compiler consumes an ahead-of-time model description and emits
+the low-level operation stream executed by the on-chip controller (Section 3
+of the paper).  In this reproduction the expanded
+:class:`~repro.nasbench.network.NetworkSpec` already lists every operation in
+topological order, so lowering is mostly a validation and normalization pass:
+
+* every layer must be expressible on the accelerator (all NASBench operations
+  are, so an unsupported kind raises :class:`CompilationError` rather than
+  falling back to a CPU partition);
+* zero-cost glue layers (adds/concats) are kept — they still move activations
+  through PE memory and the performance model charges them accordingly.
+"""
+
+from __future__ import annotations
+
+from ..errors import CompilationError
+from ..nasbench.network import (
+    KIND_ADD,
+    KIND_CONCAT,
+    KIND_CONV,
+    KIND_DENSE,
+    KIND_DOWNSAMPLE,
+    KIND_GLOBAL_POOL,
+    KIND_MAXPOOL,
+    KIND_PROJECTION,
+    LayerSpec,
+    NetworkSpec,
+)
+
+#: Layer kinds the accelerator supports natively.
+SUPPORTED_KINDS = frozenset(
+    {
+        KIND_CONV,
+        KIND_PROJECTION,
+        KIND_MAXPOOL,
+        KIND_DOWNSAMPLE,
+        KIND_ADD,
+        KIND_CONCAT,
+        KIND_GLOBAL_POOL,
+        KIND_DENSE,
+    }
+)
+
+
+def lower_network(network: NetworkSpec) -> tuple[LayerSpec, ...]:
+    """Return the ordered operation stream for *network*.
+
+    Raises
+    ------
+    CompilationError
+        If the network contains a layer kind the accelerator cannot execute.
+    """
+    for layer in network.layers:
+        if layer.kind not in SUPPORTED_KINDS:
+            raise CompilationError(
+                f"layer {layer.name!r} has kind {layer.kind!r}, which is not "
+                "supported by the Edge TPU mapping"
+            )
+        if layer.in_channels <= 0 or layer.out_channels <= 0:
+            raise CompilationError(
+                f"layer {layer.name!r} has non-positive channel counts "
+                f"({layer.in_channels} -> {layer.out_channels})"
+            )
+    return tuple(network.layers)
+
+
+def max_activation_bytes(layers: tuple[LayerSpec, ...]) -> int:
+    """Largest per-layer activation working set (inputs plus outputs)."""
+    return max(
+        (layer.input_activation_bytes + layer.output_activation_bytes for layer in layers),
+        default=0,
+    )

@@ -1,0 +1,150 @@
+"""Parameter-caching planner.
+
+Section 3 of the paper describes the Edge TPU compiler's most important
+optimization: keeping model parameters resident in on-chip memory across
+consecutive inferences so that steady-state inference does not re-fetch them
+from DRAM.  The planner here decides, for one compiled model on one
+accelerator configuration, how many weight bytes stay resident and which
+layers they belong to.
+
+Capacity model
+--------------
+The cache lives in the on-chip SRAM budget computed by
+:func:`repro.arch.memory.parameter_cache_capacity`.  Its *effective* capacity
+shrinks as the model grows beyond it: once weights overflow, part of the SRAM
+must be re-purposed as streaming/double-buffering space and the reuse distance
+of a cached byte exceeds one inference, so the benefit decays.  The paper
+observes exactly this ("for larger models parameter caching has diminishing
+returns"); we model it with a linear decay that reaches zero when the weight
+footprint is twice the nominal capacity:
+
+``effective = capacity                               if weights <= capacity``
+``effective = max(0, capacity - (weights - capacity) / 2)   otherwise``
+
+i.e. the benefit decays linearly and disappears entirely once the weight
+footprint reaches three times the nominal capacity.
+
+Layer selection is greedy by weight size (largest layers first), which both
+maximizes the bytes kept on chip for a given number of cached layers and
+mirrors the ahead-of-time compiler's preference for pinning the big reused
+tensors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.config import AcceleratorConfig
+from ..arch.memory import MemoryBudget, parameter_cache_capacity
+from ..nasbench.network import LayerSpec
+
+
+@dataclass(frozen=True)
+class CachePlan:
+    """Outcome of parameter-cache planning for one model on one configuration."""
+
+    #: Nominal capacity available for cached parameters (bytes).
+    capacity_bytes: int
+    #: Effective capacity after the diminishing-returns decay (bytes).
+    effective_capacity_bytes: int
+    #: Total weight footprint of the model (bytes).
+    total_weight_bytes: int
+    #: Bytes of weights resident on-chip across inferences.
+    cached_bytes: int
+    #: Names of the layers whose weights are (fully) resident.
+    cached_layers: frozenset[str]
+    #: Per-layer bytes still streamed from DRAM each inference.
+    streamed_bytes_by_layer: dict[str, int]
+
+    @property
+    def streamed_bytes(self) -> int:
+        """Total weight bytes fetched from DRAM per steady-state inference."""
+        return sum(self.streamed_bytes_by_layer.values())
+
+    @property
+    def fully_cached(self) -> bool:
+        """``True`` when no weight traffic hits DRAM in steady state."""
+        return self.streamed_bytes == 0
+
+    def is_cached(self, layer_name: str) -> bool:
+        """Return whether the named layer's weights are resident on-chip."""
+        return layer_name in self.cached_layers
+
+
+def effective_cache_capacity(total_weight_bytes: int, capacity_bytes: int) -> int:
+    """Effective parameter-cache capacity under the diminishing-returns rule."""
+    if capacity_bytes <= 0:
+        return 0
+    if total_weight_bytes <= capacity_bytes:
+        return capacity_bytes
+    overflow = total_weight_bytes - capacity_bytes
+    return max(0, capacity_bytes - overflow // 2)
+
+
+def plan_parameter_cache(
+    layers: tuple[LayerSpec, ...],
+    config: AcceleratorConfig,
+    enable_caching: bool = True,
+    budget: MemoryBudget | None = None,
+) -> CachePlan:
+    """Build the parameter-cache plan for *layers* on *config*.
+
+    Parameters
+    ----------
+    layers:
+        Lowered operation stream of the model.
+    config:
+        Target accelerator configuration.
+    enable_caching:
+        The paper runs all simulations with parameter caching enabled; passing
+        ``False`` forces every weight byte to stream from DRAM (used by the
+        ablation benchmarks).
+    budget:
+        Optional precomputed memory budget (otherwise derived from *config*
+        and the largest activation working set of *layers*).
+    """
+    weighted = [layer for layer in layers if layer.weight_bytes > 0]
+    total_weight_bytes = sum(layer.weight_bytes for layer in weighted)
+
+    if budget is None:
+        max_activation = max(
+            (layer.input_activation_bytes + layer.output_activation_bytes for layer in layers),
+            default=0,
+        )
+        budget = parameter_cache_capacity(config, max_activation)
+    capacity = budget.parameter_cache_bytes
+
+    if not enable_caching or total_weight_bytes == 0:
+        return CachePlan(
+            capacity_bytes=capacity,
+            effective_capacity_bytes=0 if not enable_caching else capacity,
+            total_weight_bytes=total_weight_bytes,
+            cached_bytes=0,
+            cached_layers=frozenset(),
+            streamed_bytes_by_layer={layer.name: layer.weight_bytes for layer in weighted},
+        )
+
+    effective = effective_cache_capacity(total_weight_bytes, capacity)
+
+    cached_layers: set[str] = set()
+    cached_bytes = 0
+    streamed: dict[str, int] = {}
+    # Largest layers first; a layer is cached only if it fits entirely in the
+    # remaining effective capacity (partial layer caching would complicate the
+    # runtime for little benefit).
+    for layer in sorted(weighted, key=lambda item: item.weight_bytes, reverse=True):
+        if cached_bytes + layer.weight_bytes <= effective:
+            cached_layers.add(layer.name)
+            cached_bytes += layer.weight_bytes
+            streamed[layer.name] = 0
+        else:
+            streamed[layer.name] = layer.weight_bytes
+
+    return CachePlan(
+        capacity_bytes=capacity,
+        effective_capacity_bytes=effective,
+        total_weight_bytes=total_weight_bytes,
+        cached_bytes=cached_bytes,
+        cached_layers=frozenset(cached_layers),
+        streamed_bytes_by_layer=streamed,
+    )

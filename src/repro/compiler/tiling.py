@@ -1,0 +1,154 @@
+"""Mapping of individual layers onto the PE / core / lane hierarchy.
+
+The mapping follows the scheme described in Section 2 and Figure 2 of the
+paper: output spatial positions are distributed across the 2D PE array, output
+channels across the compute cores and their SIMD lanes, and the reduction over
+the convolution window and input channels is performed temporally by each
+lane's multi-way MAC unit.  The compute-cycle estimate is the product of the
+resulting tile counts, which naturally captures the quantization losses that
+make a wide accelerator (V1) under-utilized on thin layers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..arch.config import AcceleratorConfig
+from ..errors import CompilationError
+from ..nasbench.network import (
+    KIND_CONV,
+    KIND_DENSE,
+    KIND_PROJECTION,
+    LayerSpec,
+)
+
+#: Layer kinds executed on the MAC datapath.
+_MAC_KINDS = frozenset({KIND_CONV, KIND_PROJECTION, KIND_DENSE})
+
+#: Cycle-count penalty of the alternative mapping that spreads output pixels
+#: across the cores of a PE (they contend for the shared PE memory ports).
+_CORE_SPATIAL_PENALTY = 1.15
+
+
+@dataclass(frozen=True)
+class LayerMapping:
+    """Result of mapping one layer onto an accelerator configuration.
+
+    Attributes
+    ----------
+    spatial_tiles:
+        Number of sequential passes needed to cover the output pixels with the
+        PE array.
+    channel_tiles:
+        Number of sequential passes needed to cover the output channels with
+        the cores and SIMD lanes (of the PEs sharing one spatial position).
+    reduction_steps:
+        Cycles each lane spends accumulating one output element (the kernel
+        window times input channels divided over the multi-way MAC unit).
+    compute_cycles:
+        Total datapath cycles for the layer.
+    utilization:
+        Useful MACs divided by the MAC slots issued during ``compute_cycles``
+        (zero for layers without MAC work).
+    weight_passes:
+        How many core-memory refills are needed to stream the layer's weights
+        through the per-core parameter memories.
+    """
+
+    spatial_tiles: int
+    channel_tiles: int
+    reduction_steps: int
+    compute_cycles: int
+    utilization: float
+    weight_passes: int
+
+
+def map_layer(layer: LayerSpec, config: AcceleratorConfig) -> LayerMapping:
+    """Map *layer* onto *config* and estimate its datapath cycles."""
+    out_pixels = layer.output_height * layer.output_width
+    if out_pixels <= 0:
+        raise CompilationError(f"layer {layer.name!r} produces no output pixels")
+
+    if layer.kind in _MAC_KINDS:
+        return _map_mac_layer(layer, config, out_pixels)
+    return _map_vector_layer(layer, config, out_pixels)
+
+
+def _map_mac_layer(
+    layer: LayerSpec, config: AcceleratorConfig, out_pixels: int
+) -> LayerMapping:
+    """Map a convolution / dense layer onto the MAC datapath."""
+    if layer.kind == KIND_DENSE:
+        kernel_volume = layer.in_channels
+    else:
+        kernel_volume = layer.kernel_size * layer.kernel_size * layer.in_channels
+
+    reduction_steps = math.ceil(kernel_volume / config.macs_per_lane)
+
+    # Mapping (a), "channel-major": output pixels across PEs, output channels
+    # across the cores and SIMD lanes of each PE (Figure 2 of the paper).
+    pe_channel_split = max(1, config.num_pes // out_pixels) if out_pixels < config.num_pes else 1
+    channel_slots_a = config.cores_per_pe * config.compute_lanes * pe_channel_split
+    spatial_tiles_a = math.ceil(out_pixels / config.num_pes)
+    channel_tiles_a = math.ceil(layer.out_channels / channel_slots_a)
+    cycles_a = spatial_tiles_a * channel_tiles_a * reduction_steps
+
+    # Mapping (b), "core-spatial": output pixels across PEs *and* cores,
+    # output channels across the SIMD lanes only.  Chosen by the compiler for
+    # thin layers whose channel count cannot fill mapping (a); it pays a small
+    # penalty for the cores' contention on the shared PE memory.
+    spatial_units = config.num_pes * config.cores_per_pe
+    pe_channel_split_b = max(1, spatial_units // out_pixels) if out_pixels < spatial_units else 1
+    spatial_tiles_b = math.ceil(out_pixels / spatial_units)
+    channel_tiles_b = math.ceil(layer.out_channels / (config.compute_lanes * pe_channel_split_b))
+    cycles_b = math.ceil(spatial_tiles_b * channel_tiles_b * reduction_steps * _CORE_SPATIAL_PENALTY)
+
+    if cycles_a <= cycles_b:
+        spatial_tiles, channel_tiles, compute_cycles = spatial_tiles_a, channel_tiles_a, cycles_a
+    else:
+        spatial_tiles, channel_tiles, compute_cycles = spatial_tiles_b, channel_tiles_b, cycles_b
+
+    issued_macs = compute_cycles * config.macs_per_cycle
+    utilization = layer.macs / issued_macs if issued_macs else 0.0
+
+    weight_passes = (
+        math.ceil(layer.weight_bytes / config.total_core_memory_bytes)
+        if layer.weight_bytes
+        else 0
+    )
+    return LayerMapping(
+        spatial_tiles=spatial_tiles,
+        channel_tiles=channel_tiles,
+        reduction_steps=reduction_steps,
+        compute_cycles=compute_cycles,
+        utilization=min(utilization, 1.0),
+        weight_passes=weight_passes,
+    )
+
+
+def _map_vector_layer(
+    layer: LayerSpec, config: AcceleratorConfig, out_pixels: int
+) -> LayerMapping:
+    """Map a pooling / element-wise layer onto the vector (non-MAC) path."""
+    if layer.kind in ("maxpool", "downsample"):
+        ops_per_element = layer.kernel_size * layer.kernel_size
+    elif layer.kind == "global_pool":
+        ops_per_element = layer.input_height * layer.input_width
+    elif layer.kind == "add":
+        # in_channels carries the summed width of all inputs.
+        ops_per_element = max(1, layer.in_channels // max(1, layer.out_channels))
+    else:  # concat and other pure data-movement layers
+        ops_per_element = 1
+
+    elements = out_pixels * layer.out_channels * ops_per_element
+    throughput = config.macs_per_cycle  # one ALU op per MAC slot per cycle
+    compute_cycles = max(1, math.ceil(elements / throughput))
+    return LayerMapping(
+        spatial_tiles=math.ceil(out_pixels / config.num_pes),
+        channel_tiles=1,
+        reduction_steps=ops_per_element,
+        compute_cycles=compute_cycles,
+        utilization=0.0,
+        weight_passes=0,
+    )

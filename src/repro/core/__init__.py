@@ -1,0 +1,54 @@
+"""Learned performance model: numpy autodiff, graph network, training, metrics."""
+
+from .autodiff import Tensor, mse_loss
+from .features import GraphTuple, cell_to_graph
+from .graph_net import BatchedGraphs, GraphNetBlock, IndependentBlock, batch_graphs
+from .layers import MLP, LayerNorm, Linear, Module
+from .metrics import (
+    EstimationReport,
+    estimation_accuracy,
+    evaluate_predictions,
+    pearson_correlation,
+    spearman_correlation,
+)
+from .model import EncodeProcessDecode
+from .optimizer import Adam
+from .predictor import LearnedPerformanceModel, TrainingSettings
+from .trainer import (
+    DatasetSplit,
+    TargetNormalizer,
+    TrainingHistory,
+    evaluate_loss,
+    split_dataset,
+    train_model,
+)
+
+__all__ = [
+    "Adam",
+    "BatchedGraphs",
+    "DatasetSplit",
+    "EncodeProcessDecode",
+    "EstimationReport",
+    "GraphNetBlock",
+    "GraphTuple",
+    "IndependentBlock",
+    "LayerNorm",
+    "LearnedPerformanceModel",
+    "Linear",
+    "MLP",
+    "Module",
+    "TargetNormalizer",
+    "Tensor",
+    "TrainingHistory",
+    "TrainingSettings",
+    "batch_graphs",
+    "cell_to_graph",
+    "estimation_accuracy",
+    "evaluate_loss",
+    "evaluate_predictions",
+    "mse_loss",
+    "pearson_correlation",
+    "spearman_correlation",
+    "split_dataset",
+    "train_model",
+]

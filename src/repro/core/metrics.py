@@ -1,0 +1,85 @@
+"""Evaluation metrics of the learned performance model (paper Table 8)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from ..errors import ModelError
+
+
+def estimation_accuracy(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Average estimation accuracy: ``1 - mean(|pred - true| / true)``.
+
+    This matches the paper's "average accuracy" of the learned model (~96-98%),
+    i.e. one minus the mean absolute percentage error.
+    """
+    predictions, targets = _validate(predictions, targets)
+    relative_error = np.abs(predictions - targets) / np.abs(targets)
+    return float(1.0 - relative_error.mean())
+
+
+def spearman_correlation(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Spearman rank-order correlation between predictions and ground truth."""
+    predictions, targets = _validate(predictions, targets)
+    value = stats.spearmanr(predictions, targets).statistic
+    return float(value)
+
+
+def pearson_correlation(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Pearson linear correlation between predictions and ground truth."""
+    predictions, targets = _validate(predictions, targets)
+    value = stats.pearsonr(predictions, targets).statistic
+    return float(value)
+
+
+@dataclass(frozen=True)
+class EstimationReport:
+    """Bundle of the three Table 8 metrics plus split sizes."""
+
+    average_accuracy: float
+    spearman: float
+    pearson: float
+    training_set_size: int
+    test_set_size: int
+
+    def as_row(self) -> dict[str, float | int]:
+        """Return the report as a flat dict (one Table 8 column)."""
+        return {
+            "training_set_size": self.training_set_size,
+            "test_set_size": self.test_set_size,
+            "average_accuracy": round(self.average_accuracy, 4),
+            "spearman_correlation": round(self.spearman, 5),
+            "pearson_correlation": round(self.pearson, 5),
+        }
+
+
+def evaluate_predictions(
+    predictions: np.ndarray,
+    targets: np.ndarray,
+    training_set_size: int = 0,
+) -> EstimationReport:
+    """Compute the full :class:`EstimationReport` for a prediction/target pair."""
+    return EstimationReport(
+        average_accuracy=estimation_accuracy(predictions, targets),
+        spearman=spearman_correlation(predictions, targets),
+        pearson=pearson_correlation(predictions, targets),
+        training_set_size=training_set_size,
+        test_set_size=len(np.asarray(targets).reshape(-1)),
+    )
+
+
+def _validate(predictions: np.ndarray, targets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    predictions = np.asarray(predictions, dtype=float).reshape(-1)
+    targets = np.asarray(targets, dtype=float).reshape(-1)
+    if predictions.shape != targets.shape:
+        raise ModelError(
+            f"prediction/target length mismatch: {predictions.shape} vs {targets.shape}"
+        )
+    if predictions.size < 2:
+        raise ModelError("at least two samples are required to compute metrics")
+    if np.any(targets == 0):
+        raise ModelError("targets must be non-zero to compute relative errors")
+    return predictions, targets

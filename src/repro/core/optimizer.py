@@ -1,0 +1,63 @@
+"""Adam optimizer (Kingma & Ba), as used by the paper with default parameters."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import ModelError
+from .autodiff import Tensor
+
+
+class Adam:
+    """Adam optimizer over a fixed list of parameters.
+
+    The paper trains its graph network with Adam at a learning rate of 1e-3
+    and otherwise default hyperparameters; those are the defaults here.
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ):
+        self.parameters: Sequence[Tensor] = list(parameters)
+        if not self.parameters:
+            raise ModelError("Adam received no parameters to optimize")
+        if learning_rate <= 0:
+            raise ModelError("learning rate must be positive")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._step = 0
+        self._first_moment = [np.zeros_like(p.data) for p in self.parameters]
+        self._second_moment = [np.zeros_like(p.data) for p in self.parameters]
+
+    def zero_grad(self) -> None:
+        """Clear the gradients of every tracked parameter."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        """Apply one Adam update using the accumulated gradients."""
+        self._step += 1
+        bias_correction1 = 1.0 - self.beta1**self._step
+        bias_correction2 = 1.0 - self.beta2**self._step
+        for index, parameter in enumerate(self.parameters):
+            gradient = parameter.grad
+            if gradient is None:
+                continue
+            m = self._first_moment[index]
+            v = self._second_moment[index]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * gradient
+            v *= self.beta2
+            v += (1.0 - self.beta2) * gradient**2
+            m_hat = m / bias_correction1
+            v_hat = v / bias_correction2
+            parameter.data -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

@@ -1,0 +1,157 @@
+"""High-level learned performance model API.
+
+:class:`LearnedPerformanceModel` ties the pieces together the way the paper
+uses them: one model is trained *per accelerator configuration and per metric*
+(latency or energy) on simulator measurements of NASBench cells, using a
+60/20/20 split, and is then evaluated with the Table 8 metrics (average
+estimation accuracy, Spearman and Pearson correlation with ground truth).
+Once trained, predictions take well under a millisecond per cell — the paper's
+motivation for replacing cycle-accurate simulation in design-space
+exploration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ModelError
+from ..nasbench.cell import Cell
+from .features import GraphTuple, cell_to_graph
+from .metrics import EstimationReport, evaluate_predictions
+from .model import (
+    DEFAULT_HIDDEN_SIZE,
+    DEFAULT_LATENT_SIZE,
+    DEFAULT_NUM_STEPS,
+    DEFAULT_USE_LAYER_NORM,
+    EncodeProcessDecode,
+)
+from .trainer import (
+    DatasetSplit,
+    TargetNormalizer,
+    TrainingHistory,
+    predict as predict_normalized,
+    split_dataset,
+    train_model,
+)
+
+
+@dataclass(frozen=True)
+class TrainingSettings:
+    """Hyperparameters of the learned performance model (paper Table 8)."""
+
+    learning_rate: float = 1e-3
+    batch_size: int = 16
+    epochs: int = 10
+    latent_size: int = DEFAULT_LATENT_SIZE
+    hidden_size: int = DEFAULT_HIDDEN_SIZE
+    num_message_passing_steps: int = DEFAULT_NUM_STEPS
+    use_layer_norm: bool = DEFAULT_USE_LAYER_NORM
+    train_fraction: float = 0.6
+    validation_fraction: float = 0.2
+    log_transform_targets: bool = True
+    seed: int = 0
+
+
+class LearnedPerformanceModel:
+    """Per-configuration GNN estimator of an accelerator performance metric."""
+
+    def __init__(self, config_name: str, settings: TrainingSettings | None = None):
+        self.config_name = config_name
+        self.settings = settings or TrainingSettings()
+        self.normalizer = TargetNormalizer(self.settings.log_transform_targets)
+        self.model = EncodeProcessDecode(
+            latent_size=self.settings.latent_size,
+            hidden_size=self.settings.hidden_size,
+            num_message_passing_steps=self.settings.num_message_passing_steps,
+            use_layer_norm=self.settings.use_layer_norm,
+            seed=self.settings.seed,
+        )
+        self.history: TrainingHistory | None = None
+        self.split: DatasetSplit | None = None
+        self._graphs: list[GraphTuple] = []
+        self._targets: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    def fit(self, cells: Sequence[Cell], targets: Sequence[float]) -> TrainingHistory:
+        """Train the model on (cell, measurement) pairs.
+
+        The split into train/validation/test follows the paper (60/20/20); the
+        held-out test indices are kept so :meth:`evaluate` reports honest
+        generalization metrics.
+        """
+        if len(cells) != len(targets):
+            raise ModelError("cells and targets must have the same length")
+        if len(cells) < 10:
+            raise ModelError("need at least 10 samples to fit the learned model")
+
+        self._graphs = [cell_to_graph(cell) for cell in cells]
+        self._targets = np.asarray(targets, dtype=float)
+        self.normalizer.fit(self._targets)
+        normalized = self.normalizer.transform(self._targets)
+
+        self.split = split_dataset(
+            len(cells),
+            train_fraction=self.settings.train_fraction,
+            validation_fraction=self.settings.validation_fraction,
+            seed=self.settings.seed,
+        )
+        train_graphs = [self._graphs[i] for i in self.split.train]
+        validation_graphs = [self._graphs[i] for i in self.split.validation]
+        self.history = train_model(
+            self.model,
+            train_graphs,
+            normalized[self.split.train],
+            validation_graphs,
+            normalized[self.split.validation],
+            epochs=self.settings.epochs,
+            batch_size=self.settings.batch_size,
+            learning_rate=self.settings.learning_rate,
+            seed=self.settings.seed,
+        )
+        return self.history
+
+    # ------------------------------------------------------------------ #
+    # Inference
+    # ------------------------------------------------------------------ #
+    def predict_cells(self, cells: Sequence[Cell]) -> np.ndarray:
+        """Predict the performance metric for a list of cells (raw units)."""
+        self._require_fitted()
+        graphs = [cell_to_graph(cell) for cell in cells]
+        normalized = predict_normalized(self.model, graphs)
+        return self.normalizer.inverse_transform(normalized)
+
+    def predict_cell(self, cell: Cell) -> float:
+        """Predict the performance metric of a single cell (raw units)."""
+        return float(self.predict_cells([cell])[0])
+
+    # ------------------------------------------------------------------ #
+    # Evaluation (Table 8)
+    # ------------------------------------------------------------------ #
+    def evaluate(self, subset: str = "test") -> EstimationReport:
+        """Evaluate on the held-out split (``"test"``, ``"validation"`` or ``"train"``)."""
+        self._require_fitted()
+        assert self.split is not None and self._targets is not None
+        indices = {
+            "train": self.split.train,
+            "validation": self.split.validation,
+            "test": self.split.test,
+        }.get(subset)
+        if indices is None:
+            raise ModelError(f"unknown subset {subset!r}")
+        graphs = [self._graphs[i] for i in indices]
+        normalized = predict_normalized(self.model, graphs)
+        predictions = self.normalizer.inverse_transform(normalized)
+        return evaluate_predictions(
+            predictions,
+            self._targets[indices],
+            training_set_size=len(self.split.train),
+        )
+
+    def _require_fitted(self) -> None:
+        if self.history is None:
+            raise ModelError("the learned performance model has not been fitted yet")

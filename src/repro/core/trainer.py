@@ -1,0 +1,211 @@
+"""Training loop for the learned performance model.
+
+Follows the paper's methodology (Section 5, "Learned performance model
+training"): Adam with learning rate 1e-3, batch size 16, a 60/20/20
+train/validation/test split, and a loss that averages the mean-squared
+prediction error over every message-passing iteration so the model converges
+quickly at all depths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ModelError
+from .autodiff import Tensor, mse_loss
+from .features import GraphTuple
+from .graph_net import batch_graphs
+from .model import EncodeProcessDecode
+from .optimizer import Adam
+
+
+@dataclass(frozen=True)
+class DatasetSplit:
+    """Index split of a dataset into train / validation / test parts."""
+
+    train: np.ndarray
+    validation: np.ndarray
+    test: np.ndarray
+
+    @property
+    def sizes(self) -> tuple[int, int, int]:
+        """Sizes of the three parts."""
+        return len(self.train), len(self.validation), len(self.test)
+
+
+def split_dataset(
+    num_samples: int,
+    train_fraction: float = 0.6,
+    validation_fraction: float = 0.2,
+    seed: int = 0,
+) -> DatasetSplit:
+    """Randomly split ``range(num_samples)`` into train/validation/test indices."""
+    if num_samples < 3:
+        raise ModelError("need at least three samples to split")
+    if train_fraction <= 0 or validation_fraction < 0:
+        raise ModelError("split fractions must be positive")
+    if train_fraction + validation_fraction >= 1.0:
+        raise ModelError("train and validation fractions must leave room for the test set")
+    rng = np.random.default_rng(seed)
+    permutation = rng.permutation(num_samples)
+    train_end = int(round(train_fraction * num_samples))
+    validation_end = train_end + int(round(validation_fraction * num_samples))
+    return DatasetSplit(
+        train=permutation[:train_end],
+        validation=permutation[train_end:validation_end],
+        test=permutation[validation_end:],
+    )
+
+
+class TargetNormalizer:
+    """Normalizes regression targets (optionally in log space).
+
+    Latencies span roughly two orders of magnitude across the NASBench
+    population, so training on ``log`` targets and standardizing them keeps
+    the relative error balanced across the range.
+    """
+
+    def __init__(self, log_transform: bool = True):
+        self.log_transform = log_transform
+        self._mean = 0.0
+        self._std = 1.0
+        self._fitted = False
+
+    def fit(self, targets: np.ndarray) -> "TargetNormalizer":
+        """Fit the normalizer on raw target values."""
+        values = self._forward_transform(np.asarray(targets, dtype=float))
+        self._mean = float(values.mean())
+        self._std = float(values.std())
+        if self._std == 0.0:
+            self._std = 1.0
+        self._fitted = True
+        return self
+
+    def transform(self, targets: np.ndarray) -> np.ndarray:
+        """Map raw targets to normalized training space."""
+        self._require_fitted()
+        values = self._forward_transform(np.asarray(targets, dtype=float))
+        return (values - self._mean) / self._std
+
+    def inverse_transform(self, normalized: np.ndarray) -> np.ndarray:
+        """Map normalized predictions back to raw target units."""
+        self._require_fitted()
+        values = np.asarray(normalized, dtype=float) * self._std + self._mean
+        if self.log_transform:
+            return np.exp(values)
+        return values
+
+    def _forward_transform(self, values: np.ndarray) -> np.ndarray:
+        if self.log_transform:
+            if np.any(values <= 0):
+                raise ModelError("log-transform requires strictly positive targets")
+            return np.log(values)
+        return values
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise ModelError("TargetNormalizer used before fit()")
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training and validation losses."""
+
+    train_losses: list[float] = field(default_factory=list)
+    validation_losses: list[float] = field(default_factory=list)
+
+    @property
+    def num_epochs(self) -> int:
+        """Number of completed epochs."""
+        return len(self.train_losses)
+
+
+def _batch_loss(
+    model: EncodeProcessDecode, graphs: Sequence[GraphTuple], targets: np.ndarray
+) -> Tensor:
+    """Loss of one minibatch: MSE averaged over message-passing steps."""
+    batched = batch_graphs(graphs)
+    predictions = model(batched)
+    target_tensor = Tensor(np.asarray(targets, dtype=float).reshape(-1, 1))
+    loss = mse_loss(predictions[0], target_tensor)
+    for prediction in predictions[1:]:
+        loss = loss + mse_loss(prediction, target_tensor)
+    return loss * Tensor(1.0 / len(predictions))
+
+
+def evaluate_loss(
+    model: EncodeProcessDecode,
+    graphs: Sequence[GraphTuple],
+    targets: np.ndarray,
+    batch_size: int = 256,
+) -> float:
+    """Average per-step MSE of *model* on a dataset (no gradient updates)."""
+    total, count = 0.0, 0
+    for start in range(0, len(graphs), batch_size):
+        chunk = graphs[start : start + batch_size]
+        chunk_targets = targets[start : start + batch_size]
+        loss = _batch_loss(model, chunk, chunk_targets)
+        total += loss.item() * len(chunk)
+        count += len(chunk)
+    return total / max(count, 1)
+
+
+def train_model(
+    model: EncodeProcessDecode,
+    train_graphs: Sequence[GraphTuple],
+    train_targets: np.ndarray,
+    validation_graphs: Sequence[GraphTuple] = (),
+    validation_targets: np.ndarray | None = None,
+    epochs: int = 10,
+    batch_size: int = 16,
+    learning_rate: float = 1e-3,
+    seed: int = 0,
+) -> TrainingHistory:
+    """Train *model* with minibatch Adam and return the loss history.
+
+    Targets are expected to be already normalized (see
+    :class:`TargetNormalizer`).
+    """
+    if len(train_graphs) != len(train_targets):
+        raise ModelError("training graphs and targets must have the same length")
+    if len(train_graphs) == 0:
+        raise ModelError("training set is empty")
+
+    optimizer = Adam(model.parameters(), learning_rate=learning_rate)
+    rng = np.random.default_rng(seed)
+    history = TrainingHistory()
+    train_targets = np.asarray(train_targets, dtype=float)
+
+    for _ in range(epochs):
+        order = rng.permutation(len(train_graphs))
+        epoch_loss, batches = 0.0, 0
+        for start in range(0, len(order), batch_size):
+            indices = order[start : start + batch_size]
+            graphs = [train_graphs[i] for i in indices]
+            targets = train_targets[indices]
+            optimizer.zero_grad()
+            loss = _batch_loss(model, graphs, targets)
+            loss.backward()
+            optimizer.step()
+            epoch_loss += loss.item()
+            batches += 1
+        history.train_losses.append(epoch_loss / max(batches, 1))
+        if len(validation_graphs) and validation_targets is not None:
+            history.validation_losses.append(
+                evaluate_loss(model, validation_graphs, np.asarray(validation_targets, dtype=float))
+            )
+    return history
+
+
+def predict(
+    model: EncodeProcessDecode, graphs: Sequence[GraphTuple], batch_size: int = 256
+) -> np.ndarray:
+    """Final-step predictions of *model* over *graphs* (normalized space)."""
+    outputs = []
+    for start in range(0, len(graphs), batch_size):
+        chunk = graphs[start : start + batch_size]
+        outputs.append(model.predict(batch_graphs(chunk)))
+    return np.concatenate(outputs) if outputs else np.zeros(0)

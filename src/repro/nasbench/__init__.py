@@ -1,0 +1,83 @@
+"""NASBench-101-style workload substrate.
+
+This subpackage reproduces the model space used by the paper's evaluation:
+cell DAGs over {3x3 conv, 1x1 conv, 3x3 max-pool}, their expansion into full
+CIFAR-10 networks, trainable-parameter counting, structural graph metrics, and
+a surrogate accuracy model standing in for the published training results.
+"""
+
+from .accuracy import SurrogateAccuracyModel
+from .cell import Cell
+from .dataset import ModelRecord, NASBenchDataset
+from .famous_cells import (
+    BEST_ACCURACY_CELL,
+    BEST_ACCURACY_VALUE,
+    DEEP_CONV_HEAVY_CELL,
+    FAMOUS_CELLS,
+    SECOND_BEST_ACCURACY_CELL,
+    SECOND_BEST_ACCURACY_VALUE,
+    SHALLOW_CONV_HEAVY_CELL,
+)
+from .generator import enumerate_cells, random_cell, sample_unique_cells
+from .graph_metrics import CellMetrics, compute_metrics
+from .hashing import cell_fingerprint, hash_graph, permute_cell
+from .network import (
+    LayerSpec,
+    NetworkConfig,
+    NetworkSpec,
+    build_cell_layers,
+    build_network,
+    compute_vertex_channels,
+)
+from .ops import (
+    ALL_OPS,
+    CONV1X1,
+    CONV3X3,
+    INPUT,
+    INTERIOR_OPS,
+    MAXPOOL3X3,
+    MAX_EDGES,
+    MAX_VERTICES,
+    OUTPUT,
+)
+from .params import ParameterInterval, count_parameters, parameter_distribution
+
+__all__ = [
+    "ALL_OPS",
+    "BEST_ACCURACY_CELL",
+    "BEST_ACCURACY_VALUE",
+    "CONV1X1",
+    "CONV3X3",
+    "Cell",
+    "CellMetrics",
+    "DEEP_CONV_HEAVY_CELL",
+    "FAMOUS_CELLS",
+    "INPUT",
+    "INTERIOR_OPS",
+    "LayerSpec",
+    "MAXPOOL3X3",
+    "MAX_EDGES",
+    "MAX_VERTICES",
+    "ModelRecord",
+    "NASBenchDataset",
+    "NetworkConfig",
+    "NetworkSpec",
+    "OUTPUT",
+    "ParameterInterval",
+    "SECOND_BEST_ACCURACY_CELL",
+    "SECOND_BEST_ACCURACY_VALUE",
+    "SHALLOW_CONV_HEAVY_CELL",
+    "SurrogateAccuracyModel",
+    "build_cell_layers",
+    "build_network",
+    "cell_fingerprint",
+    "compute_metrics",
+    "compute_vertex_channels",
+    "count_parameters",
+    "enumerate_cells",
+    "hash_graph",
+    "parameter_distribution",
+    "permute_cell",
+    "random_cell",
+    "sample_unique_cells",
+]

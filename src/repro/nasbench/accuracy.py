@@ -1,0 +1,203 @@
+"""Surrogate mean-validation-accuracy model for NASBench cells.
+
+The original NASBench-101 dataset ships the CIFAR-10 training results of every
+model (three training repeats at epochs 4, 12, 36 and 108).  Training 423K
+convolutional networks is far outside the scope of this reproduction, so this
+module provides a *deterministic surrogate*: a closed-form function of the
+cell structure whose marginal statistics follow the facts the paper reports
+and relies on:
+
+* roughly 98.5% of models reach at least 70% mean validation accuracy after
+  108 epochs, with a small population of failed runs near the 10% random
+  baseline (Figure 12's red-star annotations);
+* the best cell reaches 95.055% and the runner-up 94.895% (Figures 7 and 8);
+* accuracy improves with more 3x3 convolutions and more trainable parameters,
+  peaks at graph depth 3, and keeps improving with graph width up to 5
+  (Figure 10);
+* accuracies at earlier epochs are proportionally lower (epoch curve).
+
+The surrogate is deterministic: the "training noise" component is derived from
+the cell's isomorphism fingerprint, so repeated queries and different
+processes agree on every value.
+
+This is a documented substitution (see DESIGN.md §2); none of the paper's
+latency/energy results depend on accuracy beyond filtering and annotation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+
+from .cell import Cell
+from .famous_cells import (
+    BEST_ACCURACY_CELL,
+    BEST_ACCURACY_VALUE,
+    SECOND_BEST_ACCURACY_CELL,
+    SECOND_BEST_ACCURACY_VALUE,
+)
+from .graph_metrics import CellMetrics, compute_metrics
+from .hashing import cell_fingerprint
+from .params import count_parameters
+
+#: Reported accuracies at the NASBench training epochs, as a fraction of the
+#: epoch-108 accuracy.  Used to emulate the epoch-4/12/36 columns.
+EPOCH_FRACTIONS: dict[int, float] = {4: 0.55, 12: 0.76, 36: 0.92, 108: 1.0}
+
+#: Accuracy assigned to runs that diverge during training (CIFAR-10 has ten
+#: classes, so a collapsed model predicts at chance level, ~10%).
+FAILED_RUN_ACCURACY = 0.0947
+
+#: Fraction of models whose training is considered to have failed.  The paper
+#: keeps 98.5% of models after filtering at 70% accuracy, so ~1.5% fall below.
+FAILURE_RATE = 0.013
+
+#: Ceiling for generically generated cells; only the named best/second-best
+#: cells may exceed it, keeping the global top-2 unique and equal to the
+#: paper's 95.055% / 94.895%.
+GENERIC_ACCURACY_CEILING = 0.9485
+
+
+def _fingerprint_unit_interval(fingerprint: str, salt: str) -> float:
+    """Map a fingerprint to a deterministic pseudo-uniform value in [0, 1)."""
+    digest = hashlib.md5((salt + fingerprint).encode("utf-8")).hexdigest()
+    return int(digest[:12], 16) / float(16**12)
+
+
+@dataclass(frozen=True)
+class AccuracyBreakdown:
+    """Diagnostic decomposition of a surrogate accuracy value."""
+
+    base: float
+    conv3x3_term: float
+    conv1x1_term: float
+    maxpool_term: float
+    depth_term: float
+    width_term: float
+    parameter_term: float
+    noise_term: float
+    failed: bool
+    final: float
+
+
+class SurrogateAccuracyModel:
+    """Deterministic stand-in for NASBench-101 CIFAR-10 training results."""
+
+    def __init__(self, seed: int = 0):
+        self._seed = seed
+        self._best_fingerprint = cell_fingerprint(BEST_ACCURACY_CELL)
+        self._second_fingerprint = cell_fingerprint(SECOND_BEST_ACCURACY_CELL)
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def mean_validation_accuracy(
+        self,
+        cell: Cell,
+        epochs: int = 108,
+        fingerprint: str | None = None,
+        metrics: CellMetrics | None = None,
+        trainable_parameters: int | None = None,
+    ) -> float:
+        """Return the surrogate mean validation accuracy of *cell*.
+
+        Passing a precomputed *fingerprint*, *metrics* or
+        *trainable_parameters* avoids recomputation when the caller (for
+        example :class:`repro.nasbench.dataset.NASBenchDataset`) already has
+        them.
+        """
+        breakdown = self.explain(
+            cell,
+            fingerprint=fingerprint,
+            metrics=metrics,
+            trainable_parameters=trainable_parameters,
+        )
+        fraction = EPOCH_FRACTIONS.get(epochs)
+        if fraction is None:
+            raise ValueError(
+                f"unsupported epoch count {epochs}; NASBench reports epochs "
+                f"{sorted(EPOCH_FRACTIONS)}"
+            )
+        if breakdown.failed:
+            return breakdown.final
+        return round(breakdown.final * fraction, 6)
+
+    def explain(
+        self,
+        cell: Cell,
+        fingerprint: str | None = None,
+        metrics: CellMetrics | None = None,
+        trainable_parameters: int | None = None,
+    ) -> AccuracyBreakdown:
+        """Return the full additive decomposition of the epoch-108 accuracy."""
+        fingerprint = fingerprint or cell_fingerprint(cell)
+
+        # The two cells called out by the paper get their published values.
+        if fingerprint == self._best_fingerprint:
+            return self._exact(BEST_ACCURACY_VALUE)
+        if fingerprint == self._second_fingerprint:
+            return self._exact(SECOND_BEST_ACCURACY_VALUE)
+
+        metrics = metrics or compute_metrics(cell)
+        if trainable_parameters is None:
+            trainable_parameters = count_parameters(cell)
+
+        # A small, structure-biased population of training failures.
+        failure_draw = _fingerprint_unit_interval(fingerprint, f"fail:{self._seed}")
+        failure_threshold = FAILURE_RATE * (1.5 if metrics.depth >= 5 else 1.0)
+        if metrics.num_operations == 0 or failure_draw < failure_threshold:
+            noise = 0.01 * _fingerprint_unit_interval(fingerprint, f"failnoise:{self._seed}")
+            value = round(FAILED_RUN_ACCURACY + noise, 6)
+            return AccuracyBreakdown(0, 0, 0, 0, 0, 0, 0, 0, True, value)
+
+        base = 0.893
+        conv3x3_term = 0.030 * (1.0 - math.exp(-0.65 * metrics.num_conv3x3))
+        conv1x1_term = 0.009 * (1.0 - math.exp(-0.65 * metrics.num_conv1x1))
+        maxpool_term = -0.0035 * metrics.num_maxpool3x3
+        depth_term = -0.0065 * ((metrics.depth - 3) ** 2) / 9.0
+        width_term = 0.0045 * min(metrics.width, 5) / 5.0
+        parameter_term = 0.010 * _squash_parameters(trainable_parameters)
+        noise_term = 0.024 * (
+            _fingerprint_unit_interval(fingerprint, f"noise:{self._seed}") - 0.5
+        )
+
+        value = (
+            base
+            + conv3x3_term
+            + conv1x1_term
+            + maxpool_term
+            + depth_term
+            + width_term
+            + parameter_term
+            + noise_term
+        )
+        value = min(max(value, 0.70), GENERIC_ACCURACY_CEILING)
+        return AccuracyBreakdown(
+            base,
+            conv3x3_term,
+            conv1x1_term,
+            maxpool_term,
+            depth_term,
+            width_term,
+            parameter_term,
+            noise_term,
+            False,
+            round(value, 6),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _exact(value: float) -> AccuracyBreakdown:
+        return AccuracyBreakdown(value, 0, 0, 0, 0, 0, 0, 0, False, value)
+
+
+def _squash_parameters(trainable_parameters: int) -> float:
+    """Map a parameter count to [0, 1], saturating around 40M parameters."""
+    if trainable_parameters <= 0:
+        return 0.0
+    low, high = math.log10(2.0e5), math.log10(4.0e7)
+    value = (math.log10(trainable_parameters) - low) / (high - low)
+    return min(max(value, 0.0), 1.0)

@@ -1,0 +1,94 @@
+"""Named cells that appear explicitly in the paper's figures.
+
+The paper highlights a handful of specific NASBench cells:
+
+* Figure 7 — the cell with the highest mean validation accuracy after 108
+  epochs (95.055%), built from four 3x3 convolutions.
+* Figure 8 — the second-best cell (94.895%), built from two 3x3 convolutions
+  and two 1x1 convolutions, with roughly 66% fewer parameters.
+* Figure 13 — two cells with five 3x3 convolutions each: a shallow/wide one
+  (depth 3) with the lowest latency and a deep chain (depth 6) with the
+  highest latency on the V2 configuration.
+
+The exact adjacency matrices are not published; the cells below are
+reconstructed from the figures (operation multiset, edge count, and depth) and
+are used by the benchmark harness and the surrogate accuracy model as the
+canonical representatives of those figures.
+"""
+
+from __future__ import annotations
+
+from .cell import Cell
+from .ops import CONV1X1, CONV3X3, INPUT, OUTPUT
+
+#: Figure 7: highest-accuracy cell (four 3x3 convolutions, nine edges).
+BEST_ACCURACY_CELL = Cell(
+    matrix=[
+        # in c1 c2 c3 c4 out
+        [0, 1, 1, 0, 0, 0],  # input -> c1, c2
+        [0, 0, 1, 1, 1, 0],  # c1 -> c2, c3, c4
+        [0, 0, 0, 1, 1, 0],  # c2 -> c3, c4
+        [0, 0, 0, 0, 1, 0],  # c3 -> c4
+        [0, 0, 0, 0, 0, 1],  # c4 -> output
+        [0, 0, 0, 0, 0, 0],
+    ],
+    ops=[INPUT, CONV3X3, CONV3X3, CONV3X3, CONV3X3, OUTPUT],
+)
+
+#: Figure 7 reports 95.055% mean validation accuracy for the best cell.
+BEST_ACCURACY_VALUE = 0.95055
+
+#: Figure 8: second-best cell (two 3x3 and two 1x1 convolutions).
+SECOND_BEST_ACCURACY_CELL = Cell(
+    matrix=[
+        # in v1 v2 v3 v4 out
+        [0, 1, 1, 0, 0, 0],  # input -> v1, v2
+        [0, 0, 1, 1, 1, 0],  # v1 -> v2, v3, v4
+        [0, 0, 0, 1, 0, 0],  # v2 -> v3
+        [0, 0, 0, 0, 1, 0],  # v3 -> v4
+        [0, 0, 0, 0, 0, 1],  # v4 -> output
+        [0, 0, 0, 0, 0, 0],
+    ],
+    ops=[INPUT, CONV1X1, CONV3X3, CONV3X3, CONV1X1, OUTPUT],
+)
+
+#: Figure 8 reports 94.895% mean validation accuracy for the second-best cell.
+SECOND_BEST_ACCURACY_VALUE = 0.94895
+
+#: Figure 13 (left): five 3x3 convolutions arranged shallow and wide (depth 3).
+SHALLOW_CONV_HEAVY_CELL = Cell(
+    matrix=[
+        # in c1 c2 c3 c4 c5 out
+        [0, 1, 0, 0, 0, 0, 0],  # input -> c1
+        [0, 0, 1, 1, 1, 1, 0],  # c1 -> c2, c3, c4, c5
+        [0, 0, 0, 0, 0, 0, 1],  # c2 -> output
+        [0, 0, 0, 0, 0, 0, 1],  # c3 -> output
+        [0, 0, 0, 0, 0, 0, 1],  # c4 -> output
+        [0, 0, 0, 0, 0, 0, 1],  # c5 -> output
+        [0, 0, 0, 0, 0, 0, 0],
+    ],
+    ops=[INPUT, CONV3X3, CONV3X3, CONV3X3, CONV3X3, CONV3X3, OUTPUT],
+)
+
+#: Figure 13 (right): five 3x3 convolutions in a chain (depth 6).
+DEEP_CONV_HEAVY_CELL = Cell(
+    matrix=[
+        # in c1 c2 c3 c4 c5 out
+        [0, 1, 0, 0, 0, 0, 0],
+        [0, 0, 1, 0, 0, 0, 0],
+        [0, 0, 0, 1, 0, 0, 0],
+        [0, 0, 0, 0, 1, 0, 0],
+        [0, 0, 0, 0, 0, 1, 0],
+        [0, 0, 0, 0, 0, 0, 1],
+        [0, 0, 0, 0, 0, 0, 0],
+    ],
+    ops=[INPUT, CONV3X3, CONV3X3, CONV3X3, CONV3X3, CONV3X3, OUTPUT],
+)
+
+#: All named cells keyed by a short identifier.
+FAMOUS_CELLS: dict[str, Cell] = {
+    "fig7_best_accuracy": BEST_ACCURACY_CELL,
+    "fig8_second_best_accuracy": SECOND_BEST_ACCURACY_CELL,
+    "fig13_shallow_conv_heavy": SHALLOW_CONV_HEAVY_CELL,
+    "fig13_deep_conv_heavy": DEEP_CONV_HEAVY_CELL,
+}

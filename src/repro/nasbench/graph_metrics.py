@@ -1,0 +1,70 @@
+"""Graph-structure metrics used by the paper's characterization study.
+
+The paper repeatedly slices its results by structural properties of the
+NASBench cell: the number of each operation type (Figure 12, Table 6), the
+graph depth — longest input-to-output path — (Figures 10/11, Table 7), and the
+graph width — maximum directed cut — (Figures 10/11).  This module computes
+all of them in one pass and returns a plain dataclass that the analysis and
+benchmark code can aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cell import Cell
+from .ops import CONV1X1, CONV3X3, MAXPOOL3X3
+
+
+@dataclass(frozen=True)
+class CellMetrics:
+    """Structural metrics of a (pruned) NASBench cell.
+
+    Attributes
+    ----------
+    num_vertices / num_edges:
+        Size of the pruned cell graph, including input and output vertices.
+    num_conv3x3 / num_conv1x1 / num_maxpool3x3:
+        Interior-operation counts.
+    depth:
+        Longest input-to-output path length in edges (paper's "graph depth").
+    width:
+        Maximum directed cut of the graph (paper's "graph width").
+    """
+
+    num_vertices: int
+    num_edges: int
+    num_conv3x3: int
+    num_conv1x1: int
+    num_maxpool3x3: int
+    depth: int
+    width: int
+
+    @property
+    def num_operations(self) -> int:
+        """Total number of interior operations in the cell."""
+        return self.num_conv3x3 + self.num_conv1x1 + self.num_maxpool3x3
+
+
+def compute_metrics(cell: Cell, prune: bool = True) -> CellMetrics:
+    """Compute :class:`CellMetrics` for *cell*.
+
+    Parameters
+    ----------
+    cell:
+        The cell to measure.
+    prune:
+        When ``True`` (the default, and what the paper's dataset does) the
+        metrics are computed on the pruned cell so extraneous vertices do not
+        inflate operation counts.
+    """
+    canonical = cell.prune() if prune else cell
+    return CellMetrics(
+        num_vertices=canonical.num_vertices,
+        num_edges=canonical.num_edges,
+        num_conv3x3=canonical.op_count(CONV3X3),
+        num_conv1x1=canonical.op_count(CONV1X1),
+        num_maxpool3x3=canonical.op_count(MAXPOOL3X3),
+        depth=canonical.depth(),
+        width=canonical.width(),
+    )

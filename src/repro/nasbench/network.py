@@ -1,0 +1,501 @@
+"""Expansion of a NASBench cell into a full convolutional network.
+
+NASBench-101 evaluates each cell inside a fixed macro-architecture on
+CIFAR-10: a 3x3 convolution stem with 128 output channels, followed by three
+stacks of three cells each, with a 2x2 max-pool downsampling layer between
+stacks (halving the spatial resolution and doubling the channel count), and a
+global-average-pool plus dense classifier head.  Channel counts inside a cell
+follow NASBench's ``compute_vertex_channels`` rule, and every edge leaving the
+cell-input vertex passes through a 1x1 projection convolution.
+
+This module reproduces that expansion and emits a flat, topologically ordered
+list of :class:`LayerSpec` records.  The layer list is the single source of
+truth for both the parameter counting in :mod:`repro.nasbench.params` and the
+Edge TPU compiler/simulator in :mod:`repro.compiler` / :mod:`repro.simulator`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import InvalidCellError
+from .cell import Cell
+from .ops import CONV1X1, CONV3X3, MAXPOOL3X3
+
+# Layer kinds emitted by the expansion.
+KIND_CONV = "conv"
+KIND_PROJECTION = "projection"  # 1x1 convolution inserted on edges from the cell input
+KIND_MAXPOOL = "maxpool"
+KIND_DOWNSAMPLE = "downsample"  # 2x2/stride-2 max-pool between stacks
+KIND_ADD = "add"
+KIND_CONCAT = "concat"
+KIND_GLOBAL_POOL = "global_pool"
+KIND_DENSE = "dense"
+
+#: Layer kinds that carry trainable weights.
+WEIGHTED_KINDS = frozenset({KIND_CONV, KIND_PROJECTION, KIND_DENSE})
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """A single operation of the expanded network.
+
+    The record carries enough shape information for parameter counting and
+    for the accelerator cost model: spatial input size, channel counts,
+    kernel size and stride.  Quantities such as MAC count and weight bytes are
+    derived properties so they can never drift out of sync with the shapes.
+    """
+
+    name: str
+    kind: str
+    input_height: int
+    input_width: int
+    in_channels: int
+    out_channels: int
+    kernel_size: int = 1
+    stride: int = 1
+    has_batch_norm: bool = False
+
+    # ------------------------------------------------------------------ #
+    # Shape arithmetic
+    # ------------------------------------------------------------------ #
+    @property
+    def output_height(self) -> int:
+        """Output spatial height (SAME padding semantics)."""
+        if self.kind in (KIND_GLOBAL_POOL, KIND_DENSE):
+            return 1
+        return math.ceil(self.input_height / self.stride)
+
+    @property
+    def output_width(self) -> int:
+        """Output spatial width (SAME padding semantics)."""
+        if self.kind in (KIND_GLOBAL_POOL, KIND_DENSE):
+            return 1
+        return math.ceil(self.input_width / self.stride)
+
+    # ------------------------------------------------------------------ #
+    # Cost-model quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate operations performed by this layer."""
+        if self.kind in (KIND_CONV, KIND_PROJECTION):
+            return (
+                self.kernel_size
+                * self.kernel_size
+                * self.in_channels
+                * self.out_channels
+                * self.output_height
+                * self.output_width
+            )
+        if self.kind == KIND_DENSE:
+            return self.in_channels * self.out_channels
+        return 0
+
+    @property
+    def trainable_parameters(self) -> int:
+        """Trainable parameters, matching the training-time model.
+
+        Convolutions carry ``k*k*in*out`` kernel weights plus 2 batch-norm
+        parameters per output channel (scale and offset); the dense classifier
+        carries weights plus biases; pooling and element-wise layers have no
+        parameters.
+        """
+        if self.kind in (KIND_CONV, KIND_PROJECTION):
+            kernel = self.kernel_size * self.kernel_size * self.in_channels * self.out_channels
+            norm = 2 * self.out_channels if self.has_batch_norm else 0
+            return kernel + norm
+        if self.kind == KIND_DENSE:
+            return self.in_channels * self.out_channels + self.out_channels
+        return 0
+
+    @property
+    def weight_bytes(self) -> int:
+        """Inference-time weight footprint in bytes (int8 quantized).
+
+        Batch-norm is folded into the convolution at inference time (as the
+        Edge TPU compiler does), leaving one int8 weight per kernel element
+        and one int32 bias per output channel.
+        """
+        if self.kind in (KIND_CONV, KIND_PROJECTION):
+            kernel = self.kernel_size * self.kernel_size * self.in_channels * self.out_channels
+            return kernel + 4 * self.out_channels
+        if self.kind == KIND_DENSE:
+            return self.in_channels * self.out_channels + 4 * self.out_channels
+        return 0
+
+    @property
+    def input_activation_bytes(self) -> int:
+        """Input activation footprint in bytes (int8 quantized)."""
+        return self.input_height * self.input_width * self.in_channels
+
+    @property
+    def output_activation_bytes(self) -> int:
+        """Output activation footprint in bytes (int8 quantized)."""
+        return self.output_height * self.output_width * self.out_channels
+
+    @property
+    def is_weighted(self) -> bool:
+        """``True`` when the layer carries weights that must be fetched."""
+        return self.kind in WEIGHTED_KINDS
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Macro-architecture settings of the NASBench-101 CIFAR-10 network."""
+
+    stem_channels: int = 128
+    num_stacks: int = 3
+    cells_per_stack: int = 3
+    image_size: int = 32
+    image_channels: int = 3
+    num_classes: int = 10
+
+    def __post_init__(self) -> None:
+        if self.stem_channels <= 0 or self.num_stacks <= 0 or self.cells_per_stack <= 0:
+            raise InvalidCellError("network configuration values must be positive")
+        if self.image_size < 2 ** (self.num_stacks - 1):
+            raise InvalidCellError(
+                "image size too small for the requested number of downsampling stages"
+            )
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """A fully expanded network: the cell, the macro config, and all layers."""
+
+    cell: Cell
+    config: NetworkConfig
+    layers: tuple[LayerSpec, ...] = field(repr=False)
+
+    @property
+    def trainable_parameters(self) -> int:
+        """Total trainable parameters of the network."""
+        return sum(layer.trainable_parameters for layer in self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        """Total multiply-accumulate operations of one inference."""
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def total_weight_bytes(self) -> int:
+        """Total inference-time weight footprint in bytes."""
+        return sum(layer.weight_bytes for layer in self.layers)
+
+    @property
+    def num_layers(self) -> int:
+        """Number of emitted layer records (including add/concat glue)."""
+        return len(self.layers)
+
+    def weighted_layers(self) -> list[LayerSpec]:
+        """Return only layers that carry weights (convolutions and dense)."""
+        return [layer for layer in self.layers if layer.is_weighted]
+
+
+# ---------------------------------------------------------------------- #
+# Channel inference (NASBench-101 ``compute_vertex_channels``)
+# ---------------------------------------------------------------------- #
+def compute_vertex_channels(
+    input_channels: int, output_channels: int, matrix: np.ndarray
+) -> list[int]:
+    """Compute per-vertex channel counts for a pruned cell.
+
+    The rule follows NASBench-101: vertices with a direct edge to the output
+    split the output channel count evenly (earlier vertices absorb the
+    remainder); every other interior vertex uses the maximum channel count of
+    its successors, which allows channel truncation (never padding) along
+    interior edges.
+    """
+    matrix = np.asarray(matrix)
+    num_vertices = matrix.shape[0]
+    vertex_channels = [0] * num_vertices
+    vertex_channels[0] = input_channels
+    vertex_channels[-1] = output_channels
+    if num_vertices == 2:
+        return vertex_channels
+
+    # In-degree of each vertex counting only edges from interior vertices.
+    in_degree = matrix[1:].sum(axis=0)
+    output_fan_in = int(in_degree[num_vertices - 1])
+    if output_fan_in == 0:
+        raise InvalidCellError("pruned cell output is fed only by the input vertex")
+
+    interior_channels = output_channels // output_fan_in
+    correction = output_channels % output_fan_in
+
+    for v in range(1, num_vertices - 1):
+        if matrix[v, num_vertices - 1]:
+            vertex_channels[v] = interior_channels
+            if correction:
+                vertex_channels[v] += 1
+                correction -= 1
+
+    for v in range(num_vertices - 3, 0, -1):
+        if not matrix[v, num_vertices - 1]:
+            for dst in range(v + 1, num_vertices - 1):
+                if matrix[v, dst]:
+                    vertex_channels[v] = max(vertex_channels[v], vertex_channels[dst])
+
+    return vertex_channels
+
+
+# ---------------------------------------------------------------------- #
+# Cell and network expansion
+# ---------------------------------------------------------------------- #
+_OP_KERNELS = {CONV3X3: 3, CONV1X1: 1}
+
+
+def build_cell_layers(
+    cell: Cell,
+    input_channels: int,
+    output_channels: int,
+    height: int,
+    width: int,
+    name_prefix: str,
+) -> list[LayerSpec]:
+    """Expand one (pruned) cell instance into its layer list.
+
+    Parameters
+    ----------
+    cell:
+        The pruned cell to expand.
+    input_channels / output_channels:
+        Channel count of the tensor entering / leaving the cell.
+    height / width:
+        Spatial size of the tensor entering the cell (cells are spatial-size
+        preserving).
+    name_prefix:
+        Prefix such as ``"stack0/cell1"`` used to build layer names.
+    """
+    matrix = cell.numpy_matrix()
+    num_vertices = cell.num_vertices
+    layers: list[LayerSpec] = []
+
+    if num_vertices == 2:
+        # Degenerate input->output cell: a single projection carries the
+        # tensor (and adapts the channel count when the stack doubles it).
+        layers.append(
+            LayerSpec(
+                name=f"{name_prefix}/output_projection",
+                kind=KIND_PROJECTION,
+                input_height=height,
+                input_width=width,
+                in_channels=input_channels,
+                out_channels=output_channels,
+                kernel_size=1,
+                stride=1,
+                has_batch_norm=True,
+            )
+        )
+        return layers
+
+    channels = compute_vertex_channels(input_channels, output_channels, matrix)
+
+    for v in range(1, num_vertices - 1):
+        op = cell.ops[v]
+        vertex_name = f"{name_prefix}/vertex{v}"
+        fan_in_sources = [src for src in range(1, v) if matrix[src, v]]
+        takes_cell_input = bool(matrix[0, v])
+
+        # Edges from the cell input pass through a 1x1 projection so the
+        # channel counts line up with the vertex.
+        if takes_cell_input:
+            layers.append(
+                LayerSpec(
+                    name=f"{vertex_name}/input_projection",
+                    kind=KIND_PROJECTION,
+                    input_height=height,
+                    input_width=width,
+                    in_channels=input_channels,
+                    out_channels=channels[v],
+                    kernel_size=1,
+                    stride=1,
+                    has_batch_norm=True,
+                )
+            )
+
+        # Element-wise sum of all incoming tensors (projected input plus
+        # truncated interior tensors).  Emitted only when there is more than
+        # one producer, as a zero-weight data-movement layer.
+        num_inputs = len(fan_in_sources) + (1 if takes_cell_input else 0)
+        if num_inputs > 1:
+            layers.append(
+                LayerSpec(
+                    name=f"{vertex_name}/add",
+                    kind=KIND_ADD,
+                    input_height=height,
+                    input_width=width,
+                    in_channels=channels[v] * num_inputs,
+                    out_channels=channels[v],
+                    kernel_size=1,
+                    stride=1,
+                )
+            )
+
+        # The vertex operation itself.
+        if op in _OP_KERNELS:
+            layers.append(
+                LayerSpec(
+                    name=f"{vertex_name}/{'conv3x3' if op == CONV3X3 else 'conv1x1'}",
+                    kind=KIND_CONV,
+                    input_height=height,
+                    input_width=width,
+                    in_channels=channels[v],
+                    out_channels=channels[v],
+                    kernel_size=_OP_KERNELS[op],
+                    stride=1,
+                    has_batch_norm=True,
+                )
+            )
+        elif op == MAXPOOL3X3:
+            layers.append(
+                LayerSpec(
+                    name=f"{vertex_name}/maxpool3x3",
+                    kind=KIND_MAXPOOL,
+                    input_height=height,
+                    input_width=width,
+                    in_channels=channels[v],
+                    out_channels=channels[v],
+                    kernel_size=3,
+                    stride=1,
+                )
+            )
+        else:  # pragma: no cover - guarded by Cell validation
+            raise InvalidCellError(f"unknown interior operation {op!r}")
+
+    # Output vertex: concatenate every interior vertex feeding the output.
+    concat_sources = [v for v in range(1, num_vertices - 1) if matrix[v, num_vertices - 1]]
+    if len(concat_sources) > 1:
+        layers.append(
+            LayerSpec(
+                name=f"{name_prefix}/output_concat",
+                kind=KIND_CONCAT,
+                input_height=height,
+                input_width=width,
+                in_channels=sum(channels[v] for v in concat_sources),
+                out_channels=output_channels,
+                kernel_size=1,
+                stride=1,
+            )
+        )
+
+    # An edge from the cell input directly to the output adds a projected
+    # copy of the input to the concatenated result.
+    if matrix[0, num_vertices - 1]:
+        layers.append(
+            LayerSpec(
+                name=f"{name_prefix}/output_projection",
+                kind=KIND_PROJECTION,
+                input_height=height,
+                input_width=width,
+                in_channels=input_channels,
+                out_channels=output_channels,
+                kernel_size=1,
+                stride=1,
+                has_batch_norm=True,
+            )
+        )
+        layers.append(
+            LayerSpec(
+                name=f"{name_prefix}/output_add",
+                kind=KIND_ADD,
+                input_height=height,
+                input_width=width,
+                in_channels=2 * output_channels,
+                out_channels=output_channels,
+                kernel_size=1,
+                stride=1,
+            )
+        )
+
+    return layers
+
+
+def build_network(cell: Cell, config: NetworkConfig | None = None) -> NetworkSpec:
+    """Expand *cell* into the full NASBench-101 CIFAR-10 network.
+
+    The cell is pruned first; the resulting :class:`NetworkSpec` contains the
+    stem convolution, ``num_stacks`` stacks of ``cells_per_stack`` cell
+    instances with downsampling between stacks, and the classifier head.
+    """
+    if config is None:
+        config = NetworkConfig()
+    pruned = cell.prune()
+
+    layers: list[LayerSpec] = []
+    height = width = config.image_size
+    channels = config.stem_channels
+
+    layers.append(
+        LayerSpec(
+            name="stem/conv3x3",
+            kind=KIND_CONV,
+            input_height=height,
+            input_width=width,
+            in_channels=config.image_channels,
+            out_channels=channels,
+            kernel_size=3,
+            stride=1,
+            has_batch_norm=True,
+        )
+    )
+
+    in_channels = channels
+    for stack_index in range(config.num_stacks):
+        if stack_index > 0:
+            layers.append(
+                LayerSpec(
+                    name=f"stack{stack_index}/downsample",
+                    kind=KIND_DOWNSAMPLE,
+                    input_height=height,
+                    input_width=width,
+                    in_channels=in_channels,
+                    out_channels=in_channels,
+                    kernel_size=2,
+                    stride=2,
+                )
+            )
+            height = math.ceil(height / 2)
+            width = math.ceil(width / 2)
+            channels *= 2
+
+        for cell_index in range(config.cells_per_stack):
+            prefix = f"stack{stack_index}/cell{cell_index}"
+            layers.extend(
+                build_cell_layers(pruned, in_channels, channels, height, width, prefix)
+            )
+            in_channels = channels
+
+    layers.append(
+        LayerSpec(
+            name="head/global_pool",
+            kind=KIND_GLOBAL_POOL,
+            input_height=height,
+            input_width=width,
+            in_channels=in_channels,
+            out_channels=in_channels,
+        )
+    )
+    layers.append(
+        LayerSpec(
+            name="head/dense",
+            kind=KIND_DENSE,
+            input_height=1,
+            input_width=1,
+            in_channels=in_channels,
+            out_channels=config.num_classes,
+        )
+    )
+
+    return NetworkSpec(cell=pruned, config=config, layers=tuple(layers))
+
+
+def iter_layer_names(spec: NetworkSpec) -> Iterable[str]:
+    """Yield the names of all layers of *spec* (mainly for debugging/tests)."""
+    for layer in spec.layers:
+        yield layer.name

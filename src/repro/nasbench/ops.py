@@ -1,0 +1,84 @@
+"""Operation vocabulary of the NASBench-101 cell space.
+
+The cell search space used by the paper (Section 5, "Workloads") admits three
+interior operations plus the distinguished input and output vertices.  This
+module centralizes their string labels, the numeric encodings used by the
+learned performance model (Figure 4 of the paper), and a few helpers shared by
+the rest of the :mod:`repro.nasbench` package.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+# Distinguished vertices.
+INPUT = "input"
+OUTPUT = "output"
+
+# Interior operations (the only valid choices for non-terminal vertices).
+CONV3X3 = "conv3x3-bn-relu"
+CONV1X1 = "conv1x1-bn-relu"
+MAXPOOL3X3 = "maxpool3x3"
+
+#: Operations allowed on interior vertices, in canonical order.
+INTERIOR_OPS: tuple[str, ...] = (CONV3X3, CONV1X1, MAXPOOL3X3)
+
+#: Every label that may appear in a cell's op list.
+ALL_OPS: tuple[str, ...] = (INPUT, CONV3X3, CONV1X1, MAXPOOL3X3, OUTPUT)
+
+#: Float encoding used as the node feature of the learned performance model
+#: (paper Figure 4): input -> 1.0, conv3x3 -> 2.0, maxpool3x3 -> 3.0,
+#: conv1x1 -> 4.0, output -> 5.0.
+NODE_FEATURE_ENCODING: dict[str, float] = {
+    INPUT: 1.0,
+    CONV3X3: 2.0,
+    MAXPOOL3X3: 3.0,
+    CONV1X1: 4.0,
+    OUTPUT: 5.0,
+}
+
+#: Integer codes used by the graph-isomorphism hash.  The particular values do
+#: not matter as long as they are distinct and stable.
+HASH_ENCODING: dict[str, int] = {
+    INPUT: -1,
+    OUTPUT: -2,
+    CONV3X3: 0,
+    CONV1X1: 1,
+    MAXPOOL3X3: 2,
+}
+
+# NASBench-101 search-space limits (Section 5 of the paper).
+MAX_VERTICES = 7
+MAX_EDGES = 9
+
+
+def is_interior_op(op: str) -> bool:
+    """Return ``True`` if *op* is a valid interior (non-terminal) operation."""
+    return op in INTERIOR_OPS
+
+
+def validate_ops(ops: Sequence[str]) -> None:
+    """Validate a cell op list, raising :class:`ValueError` on bad labels.
+
+    The op list must start with :data:`INPUT`, end with :data:`OUTPUT`, and
+    contain only interior operations in between.  Structural constraints
+    (vertex/edge counts, acyclicity) are validated by
+    :class:`repro.nasbench.cell.Cell`.
+    """
+    if len(ops) < 2:
+        raise ValueError("a cell needs at least an input and an output vertex")
+    if ops[0] != INPUT:
+        raise ValueError(f"first op must be {INPUT!r}, got {ops[0]!r}")
+    if ops[-1] != OUTPUT:
+        raise ValueError(f"last op must be {OUTPUT!r}, got {ops[-1]!r}")
+    for op in ops[1:-1]:
+        if not is_interior_op(op):
+            raise ValueError(f"invalid interior operation {op!r}")
+
+
+def node_feature(op: str) -> float:
+    """Return the scalar node feature of *op* used by the learned model."""
+    try:
+        return NODE_FEATURE_ENCODING[op]
+    except KeyError as exc:
+        raise ValueError(f"unknown operation {op!r}") from exc

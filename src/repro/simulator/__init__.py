@@ -1,0 +1,34 @@
+"""Cycle-level Edge TPU performance and energy simulator."""
+
+from .engine import PerformanceSimulator
+from .latency import (
+    LayerTiming,
+    activation_spill_bytes,
+    cycles_to_milliseconds,
+    model_latency_cycles,
+    time_layer,
+)
+from .results import LayerResult, SimulationResult
+from .runner import (
+    MeasurementSet,
+    MeasurementSubset,
+    ModelMeasurement,
+    evaluate_dataset,
+    simulate_records,
+)
+
+__all__ = [
+    "LayerResult",
+    "LayerTiming",
+    "MeasurementSet",
+    "MeasurementSubset",
+    "ModelMeasurement",
+    "PerformanceSimulator",
+    "SimulationResult",
+    "activation_spill_bytes",
+    "cycles_to_milliseconds",
+    "evaluate_dataset",
+    "model_latency_cycles",
+    "simulate_records",
+    "time_layer",
+]

@@ -1,0 +1,128 @@
+"""Tests for the surrogate accuracy model and the parameter histogram (Table 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nasbench import (
+    BEST_ACCURACY_CELL,
+    BEST_ACCURACY_VALUE,
+    SECOND_BEST_ACCURACY_CELL,
+    SECOND_BEST_ACCURACY_VALUE,
+    SurrogateAccuracyModel,
+    parameter_distribution,
+    random_cell,
+    sample_unique_cells,
+)
+from repro.nasbench.accuracy import FAILED_RUN_ACCURACY, GENERIC_ACCURACY_CEILING
+
+
+@pytest.fixture(scope="module")
+def accuracy_model():
+    return SurrogateAccuracyModel()
+
+
+class TestSurrogateAccuracy:
+    def test_named_cells_match_paper_values(self, accuracy_model):
+        assert accuracy_model.mean_validation_accuracy(BEST_ACCURACY_CELL) == pytest.approx(
+            BEST_ACCURACY_VALUE
+        )
+        assert accuracy_model.mean_validation_accuracy(
+            SECOND_BEST_ACCURACY_CELL
+        ) == pytest.approx(SECOND_BEST_ACCURACY_VALUE)
+
+    def test_best_cell_is_global_maximum(self, accuracy_model):
+        cells = sample_unique_cells(200, seed=17)
+        accuracies = [accuracy_model.mean_validation_accuracy(cell) for cell in cells]
+        assert max(accuracies) <= BEST_ACCURACY_VALUE
+        assert GENERIC_ACCURACY_CEILING < BEST_ACCURACY_VALUE
+
+    def test_accuracy_is_deterministic(self, accuracy_model):
+        cells = sample_unique_cells(20, seed=3)
+        first = [accuracy_model.mean_validation_accuracy(cell) for cell in cells]
+        second = [accuracy_model.mean_validation_accuracy(cell) for cell in cells]
+        assert first == second
+
+    def test_most_models_pass_the_70_percent_filter(self, accuracy_model):
+        cells = sample_unique_cells(300, seed=5)
+        accuracies = np.array(
+            [accuracy_model.mean_validation_accuracy(cell) for cell in cells]
+        )
+        fraction = (accuracies >= 0.70).mean()
+        # Paper: ~98.5% of models clear the filter; the surrogate should be close.
+        assert fraction > 0.93
+        # ... and the failed runs should sit near the 10% random baseline.
+        failed = accuracies[accuracies < 0.70]
+        if failed.size:
+            assert np.all(failed < 0.15)
+            assert np.all(failed >= FAILED_RUN_ACCURACY - 1e-9)
+
+    def test_earlier_epochs_have_lower_accuracy(self, accuracy_model):
+        cell = sample_unique_cells(1, seed=11)[0]
+        accuracies = [
+            accuracy_model.mean_validation_accuracy(cell, epochs=epoch)
+            for epoch in (4, 12, 36, 108)
+        ]
+        if accuracies[-1] > 0.5:  # skip the rare failed-run draw
+            assert accuracies == sorted(accuracies)
+
+    def test_unsupported_epoch_rejected(self, accuracy_model):
+        cell = sample_unique_cells(1, seed=2)[0]
+        with pytest.raises(ValueError):
+            accuracy_model.mean_validation_accuracy(cell, epochs=50)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_accuracy_is_bounded(self, accuracy_model, seed):
+        cell = random_cell(np.random.default_rng(seed))
+        value = accuracy_model.mean_validation_accuracy(cell)
+        assert 0.05 <= value <= BEST_ACCURACY_VALUE
+
+    def test_explain_terms_sum_to_final(self, accuracy_model):
+        cells = sample_unique_cells(30, seed=8)
+        for cell in cells:
+            breakdown = accuracy_model.explain(cell)
+            if breakdown.failed:
+                continue
+            total = (
+                breakdown.base
+                + breakdown.conv3x3_term
+                + breakdown.conv1x1_term
+                + breakdown.maxpool_term
+                + breakdown.depth_term
+                + breakdown.width_term
+                + breakdown.parameter_term
+                + breakdown.noise_term
+            )
+            clamped = min(max(total, 0.70), GENERIC_ACCURACY_CEILING)
+            if breakdown.final not in (BEST_ACCURACY_VALUE, SECOND_BEST_ACCURACY_VALUE):
+                assert breakdown.final == pytest.approx(clamped, abs=1e-6)
+
+
+class TestParameterDistribution:
+    def test_counts_sum_to_population(self):
+        values = [100, 200, 300, 400, 500, 1000]
+        intervals = parameter_distribution(values, num_intervals=4)
+        assert sum(interval.count for interval in intervals) == len(values)
+
+    def test_ten_intervals_like_table1(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(227_274, 49_979_274, size=500).tolist()
+        intervals = parameter_distribution(values, num_intervals=10)
+        assert len(intervals) == 10
+        assert intervals[0].lower == min(values)
+        assert intervals[-1].upper == max(values)
+        assert sum(interval.count for interval in intervals) == 500
+
+    def test_explicit_bounds(self):
+        intervals = parameter_distribution([10, 20, 90], num_intervals=2, bounds=(0, 100))
+        assert intervals[0].count == 2
+        assert intervals[1].count == 1
+
+    def test_empty_and_degenerate_inputs(self):
+        assert parameter_distribution([]) == []
+        single = parameter_distribution([5, 5, 5], num_intervals=3)
+        assert len(single) == 1
+        assert single[0].count == 3

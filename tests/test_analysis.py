@@ -1,0 +1,224 @@
+"""Tests for the analysis package (tables and figures helpers)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    accuracy_annotations,
+    accuracy_by_structure,
+    accuracy_latency_scatter,
+    best_model_report,
+    bucket_characteristics,
+    bucket_records,
+    bucket_speedups,
+    crossover_analysis,
+    energy_latency_linear_fit,
+    latency_accuracy_frontier,
+    latency_by_structure,
+    latency_energy_scatter,
+    latency_extremes_for_conv_count,
+    latency_parameter_correlation,
+    operation_count_vs_latency,
+    operation_swap_matrix,
+    parameters_by_depth,
+    parameters_vs_latency,
+    summarize_all,
+    summarize_configuration,
+    swap_operations,
+    top_models_by_accuracy,
+    winner_buckets,
+)
+from repro.arch import EDGE_TPU_V2
+from repro.errors import DatasetError
+from repro.nasbench import CONV1X1, CONV3X3, MAXPOOL3X3, sample_unique_cells
+from repro.nasbench.famous_cells import BEST_ACCURACY_CELL
+
+
+class TestSummary:
+    def test_table3_summary_structure(self, measurements):
+        summaries = summarize_all(measurements)
+        assert set(summaries) == {"V1", "V2", "V3"}
+        for name, summary in summaries.items():
+            assert summary.min_latency.value <= summary.avg_latency_ms <= summary.max_latency.value
+            assert 0.0 < summary.min_latency.accuracy <= 1.0
+            assert (summary.avg_energy_mj is not None) == (name != "V3")
+
+    def test_accuracy_filter_reduces_population(self, measurements):
+        full = summarize_configuration(measurements, "V1", min_accuracy=0.0)
+        filtered = summarize_configuration(measurements, "V1", min_accuracy=0.70)
+        assert filtered.num_models <= full.num_models
+
+    def test_impossible_filter_raises(self, measurements):
+        with pytest.raises(DatasetError):
+            summarize_configuration(measurements, "V1", min_accuracy=2.0)
+
+    def test_table4_best_model(self, measurements):
+        report = best_model_report(measurements)
+        # The dataset always contains the paper's Figure 7 cell, which the
+        # surrogate accuracy model pins at 95.055%.
+        assert report.accuracy == pytest.approx(0.95055)
+        assert set(report.latency_ms) == {"V1", "V2", "V3"}
+        assert report.energy_mj["V3"] is None
+        assert report.latency_ms["V2"] < report.latency_ms["V1"]
+
+    def test_figure6_scatter_and_fit(self, measurements):
+        points = latency_energy_scatter(measurements, "V1")
+        assert all(point.energy_mj > 0 for point in points)
+        slope, intercept = energy_latency_linear_fit(points)
+        assert slope > 0  # energy grows with latency (Figure 6 linearity)
+
+    def test_fit_requires_two_points(self):
+        with pytest.raises(DatasetError):
+            energy_latency_linear_fit([])
+
+
+class TestBuckets:
+    def test_buckets_partition_the_population(self, measurements):
+        buckets = winner_buckets(measurements)
+        assert sum(bucket.num_models for bucket in buckets.values()) == len(
+            measurements.dataset
+        )
+        v1_bucket = buckets["V1"]
+        assert v1_bucket.num_models > 0
+        assert v1_bucket.avg_latency_ms["V1"] <= v1_bucket.avg_latency_ms["V2"]
+
+    def test_bucket_characteristics(self, measurements):
+        buckets = winner_buckets(measurements)
+        characteristics = bucket_characteristics(measurements, buckets["V1"])
+        assert characteristics.num_models == buckets["V1"].num_models
+        assert characteristics.avg_trainable_parameters > 0
+        assert 0 <= characteristics.avg_conv3x3 <= 5
+
+    def test_bucket_records_roundtrip(self, measurements):
+        buckets = winner_buckets(measurements)
+        records = bucket_records(measurements, buckets["V1"])
+        assert len(records) == buckets["V1"].num_models
+
+    def test_bucket_speedups_reference_winner(self, measurements):
+        buckets = winner_buckets(measurements)
+        speedups = bucket_speedups(buckets["V1"])
+        assert speedups["V1"] == pytest.approx(1.0)
+        assert all(value >= 1.0 - 1e-9 for value in speedups.values())
+
+    def test_empty_bucket_characteristics_raise(self, measurements):
+        buckets = winner_buckets(measurements)
+        empty = [b for b in buckets.values() if b.num_models == 0]
+        for bucket in empty:
+            with pytest.raises(DatasetError):
+                bucket_characteristics(measurements, bucket)
+
+
+class TestStructure:
+    def test_accuracy_by_depth_covers_population(self, dataset):
+        stats = accuracy_by_structure(dataset, "depth")
+        assert sum(group.count for group in stats) == len(dataset)
+        assert all(0.0 <= group.mean <= 1.0 for group in stats)
+
+    def test_latency_by_width(self, measurements):
+        stats = latency_by_structure(measurements, "V2", "width")
+        assert all(group.minimum <= group.median <= group.maximum for group in stats)
+
+    def test_table7_parameters_by_depth(self, dataset):
+        rows = parameters_by_depth(dataset)
+        assert sum(row.num_models for row in rows) == len(dataset)
+        assert all(row.avg_trainable_parameters > 0 for row in rows)
+        depths = [row.depth for row in rows]
+        assert depths == sorted(depths)
+
+
+class TestOperations:
+    def test_figure12_groups(self, measurements):
+        groups = operation_count_vs_latency(measurements, "V1", "conv3x3")
+        assert sum(group.num_models for group in groups) == len(measurements.dataset)
+        assert all(group.min_latency_ms <= group.avg_latency_ms for group in groups)
+        with pytest.raises(DatasetError):
+            operation_count_vs_latency(measurements, "V1", "conv5x5")
+
+    def test_figure12_annotations(self, measurements):
+        best, worst = accuracy_annotations(measurements, "conv3x3")
+        assert best.accuracy >= worst.accuracy
+        assert best.accuracy == pytest.approx(0.95055)
+
+    def test_figure13_latency_extremes(self, measurements):
+        fastest, slowest = latency_extremes_for_conv_count(measurements, "V2", 5)
+        assert fastest.latency_ms <= slowest.latency_ms
+        assert fastest.record.metrics.num_conv3x3 == 5
+        assert slowest.record.metrics.num_conv3x3 == 5
+
+    def test_figure14_series_and_correlation(self, measurements):
+        parameters, latencies = parameters_vs_latency(measurements, "V1")
+        assert parameters.shape == latencies.shape
+        correlation = latency_parameter_correlation(measurements, "V1")
+        # The paper: latency is mostly proportional to trainable parameters.
+        assert correlation > 0.75
+
+    def test_figure14_crossover_bands(self, measurements):
+        bands = crossover_analysis(measurements)
+        assert sum(band.num_models for band in bands) == len(measurements.dataset)
+        for band in bands:
+            assert band.fastest_config == min(
+                band.avg_latency_ms, key=band.avg_latency_ms.get
+            )
+
+
+class TestPareto:
+    def test_figure5_scatter(self, measurements):
+        points = accuracy_latency_scatter(measurements, "V3")
+        assert all(point.accuracy >= 0.70 for point in points)
+        assert len(points) <= len(measurements.dataset)
+
+    def test_figure9_top5(self, measurements):
+        entries = top_models_by_accuracy(measurements, k=5)
+        assert len(entries) == 5
+        accuracies = [entry.accuracy for entry in entries]
+        assert accuracies == sorted(accuracies, reverse=True)
+        assert entries[0].accuracy == pytest.approx(0.95055)
+        assert entries[0].speedup_over_best_model["V1"] == pytest.approx(1.0)
+        for entry in entries:
+            assert entry.fastest_config == min(entry.latency_ms, key=entry.latency_ms.get)
+
+    def test_frontier_is_monotone(self, measurements):
+        frontier = latency_accuracy_frontier(measurements, "V1")
+        accuracies = [point.accuracy for point in frontier]
+        assert accuracies == sorted(accuracies)
+
+    def test_topk_requires_positive_k(self, measurements):
+        with pytest.raises(DatasetError):
+            top_models_by_accuracy(measurements, k=0)
+
+
+class TestSwaps:
+    def test_swap_operations_relabels_vertices(self):
+        swapped = swap_operations(BEST_ACCURACY_CELL, CONV3X3, CONV1X1)
+        assert swapped is not None
+        assert swapped.op_count(CONV3X3) == 0
+        assert swapped.op_count(CONV1X1) == BEST_ACCURACY_CELL.op_count(CONV3X3)
+
+    def test_swap_without_occurrence_returns_none(self):
+        assert swap_operations(BEST_ACCURACY_CELL, MAXPOOL3X3, CONV1X1) is None
+        assert swap_operations(BEST_ACCURACY_CELL, CONV3X3, CONV3X3) is None
+
+    def test_swap_rejects_non_interior_ops(self):
+        with pytest.raises(ValueError):
+            swap_operations(BEST_ACCURACY_CELL, "input", CONV1X1)
+
+    def test_figure15_matrix_signs(self, dataset):
+        records = dataset.records[:40]
+        matrix = operation_swap_matrix(records, EDGE_TPU_V2, max_models=40)
+        # Replacing a 1x1 convolution by a 3x3 convolution increases latency...
+        assert matrix.change_ms(CONV1X1, CONV3X3) > 0
+        assert matrix.change_percent(CONV1X1, CONV3X3) > 0
+        # ... and the reverse replacement decreases it.
+        assert matrix.change_ms(CONV3X3, CONV1X1) < 0
+        # Max-pool to 3x3 convolution also increases latency.
+        assert matrix.change_ms(MAXPOOL3X3, CONV3X3) > 0
+        # The diagonal is zero by definition.
+        assert matrix.change_ms(CONV3X3, CONV3X3) == 0.0
+
+    def test_figure15_subsampling_is_deterministic(self, dataset):
+        records = dataset.records[:30]
+        a = operation_swap_matrix(records, EDGE_TPU_V2, max_models=10, seed=3)
+        b = operation_swap_matrix(records, EDGE_TPU_V2, max_models=10, seed=3)
+        assert a.change_ms(CONV1X1, CONV3X3) == pytest.approx(b.change_ms(CONV1X1, CONV3X3))

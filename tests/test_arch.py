@@ -1,0 +1,157 @@
+"""Tests for accelerator configurations, memory budgets, bandwidth and energy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import (
+    EDGE_TPU_V1,
+    EDGE_TPU_V2,
+    EDGE_TPU_V3,
+    KIB,
+    MIB,
+    STUDIED_CONFIGS,
+    AcceleratorConfig,
+    bandwidth_efficiency,
+    energy_parameters_for,
+    get_config,
+    on_chip_bytes_per_cycle,
+    parameter_cache_capacity,
+    sustained_bandwidth_bytes_per_second,
+)
+from repro.errors import InvalidConfigError
+
+
+class TestTable2Configurations:
+    """The presets must reproduce every derived figure of Table 2."""
+
+    def test_peak_tops_match_paper(self):
+        assert EDGE_TPU_V1.peak_tops == pytest.approx(26.2, rel=0.01)
+        assert EDGE_TPU_V2.peak_tops == pytest.approx(8.73, rel=0.01)
+        assert EDGE_TPU_V3.peak_tops == pytest.approx(8.73, rel=0.01)
+
+    def test_pe_counts(self):
+        assert EDGE_TPU_V1.num_pes == 16
+        assert EDGE_TPU_V2.num_pes == 16
+        assert EDGE_TPU_V3.num_pes == 4
+
+    def test_total_core_memory(self):
+        assert EDGE_TPU_V1.total_core_memory_bytes == 16 * 4 * 32 * KIB
+        assert EDGE_TPU_V2.total_core_memory_bytes == 16 * 1 * 32 * KIB
+        assert EDGE_TPU_V3.total_core_memory_bytes == 4 * 8 * 8 * KIB
+
+    def test_total_pe_memory(self):
+        assert EDGE_TPU_V1.total_pe_memory_bytes == 16 * 2 * MIB
+        assert EDGE_TPU_V2.total_pe_memory_bytes == 16 * 384 * KIB
+        assert EDGE_TPU_V3.total_pe_memory_bytes == 4 * 2 * MIB
+
+    def test_clock_and_bandwidth(self):
+        assert EDGE_TPU_V1.clock_mhz == 800.0
+        assert EDGE_TPU_V2.clock_mhz == EDGE_TPU_V3.clock_mhz == 1066.0
+        assert EDGE_TPU_V1.io_bandwidth_gbps == 17.0
+        assert EDGE_TPU_V2.io_bandwidth_gbps == EDGE_TPU_V3.io_bandwidth_gbps == 32.0
+
+    def test_macs_per_cycle_consistent_with_peak_tops(self):
+        for config in STUDIED_CONFIGS.values():
+            derived_tops = 2 * config.macs_per_cycle * config.clock_hz / 1e12
+            assert config.peak_tops == pytest.approx(derived_tops)
+
+    def test_get_config_lookup(self):
+        assert get_config("v1") is EDGE_TPU_V1
+        assert get_config("V3") is EDGE_TPU_V3
+        with pytest.raises(InvalidConfigError):
+            get_config("V4")
+
+
+class TestConfigValidationAndOverrides:
+    def test_rejects_bad_values(self):
+        with pytest.raises(InvalidConfigError):
+            EDGE_TPU_V1.with_overrides(clock_mhz=0)
+        with pytest.raises(InvalidConfigError):
+            EDGE_TPU_V1.with_overrides(pes_x=0)
+        with pytest.raises(InvalidConfigError):
+            EDGE_TPU_V1.with_overrides(io_bandwidth_gbps=-1)
+        with pytest.raises(InvalidConfigError):
+            EDGE_TPU_V1.with_overrides(pe_memory_cache_fraction=1.5)
+
+    def test_overrides_produce_new_config(self):
+        modified = EDGE_TPU_V1.with_overrides(name="V1-half", pes_x=2)
+        assert modified.num_pes == 8
+        assert EDGE_TPU_V1.num_pes == 16
+        assert modified.peak_tops < EDGE_TPU_V1.peak_tops
+
+    def test_summary_contains_table2_fields(self):
+        summary = EDGE_TPU_V2.summary()
+        assert summary["peak_tops"] == pytest.approx(8.73, rel=0.01)
+        assert summary["io_bandwidth_gbps"] == 32.0
+        assert summary["pes"] == "(4, 4)"
+
+
+class TestBandwidthModel:
+    def test_efficiency_increases_with_pes(self):
+        assert bandwidth_efficiency(4) < bandwidth_efficiency(16)
+        assert bandwidth_efficiency(16) < 1.0
+
+    def test_efficiency_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            bandwidth_efficiency(0)
+
+    def test_v2_sustains_more_bandwidth_than_v3(self):
+        # Same peak I/O bandwidth, but V2's 16 PEs beat V3's 4 PEs.
+        assert sustained_bandwidth_bytes_per_second(
+            EDGE_TPU_V2
+        ) > sustained_bandwidth_bytes_per_second(EDGE_TPU_V3)
+
+    def test_sustained_below_peak(self):
+        for config in STUDIED_CONFIGS.values():
+            assert (
+                sustained_bandwidth_bytes_per_second(config)
+                < config.io_bandwidth_bytes_per_second
+            )
+
+    def test_on_chip_bandwidth_scales_with_cores(self):
+        assert on_chip_bytes_per_cycle(EDGE_TPU_V1) > on_chip_bytes_per_cycle(EDGE_TPU_V2)
+        assert on_chip_bytes_per_cycle(EDGE_TPU_V3) > on_chip_bytes_per_cycle(EDGE_TPU_V2)
+
+
+class TestMemoryBudget:
+    def test_cache_capacity_ordering_matches_on_chip_memory(self):
+        budgets = {
+            name: parameter_cache_capacity(config, 262_144).parameter_cache_bytes
+            for name, config in STUDIED_CONFIGS.items()
+        }
+        assert budgets["V1"] > budgets["V3"] > budgets["V2"]
+
+    def test_activation_reserve_capped_by_pe_memory(self):
+        budget = parameter_cache_capacity(EDGE_TPU_V2, 10 * MIB)
+        assert budget.activation_reserve_bytes == EDGE_TPU_V2.total_pe_memory_bytes
+        assert budget.parameter_cache_bytes == EDGE_TPU_V2.total_core_memory_bytes
+
+    def test_cache_fraction_zero_leaves_core_memory_only(self):
+        config = EDGE_TPU_V1.with_overrides(pe_memory_cache_fraction=0.0)
+        budget = parameter_cache_capacity(config, 0)
+        assert budget.parameter_cache_bytes == config.total_core_memory_bytes
+
+
+class TestEnergyParameters:
+    def test_v3_energy_model_unavailable(self):
+        assert energy_parameters_for(EDGE_TPU_V1).available
+        assert energy_parameters_for(EDGE_TPU_V2).available
+        assert not energy_parameters_for(EDGE_TPU_V3).available
+
+    def test_static_power_scales_with_compute(self):
+        assert (
+            energy_parameters_for(EDGE_TPU_V1).static_power_w
+            > energy_parameters_for(EDGE_TPU_V2).static_power_w
+        )
+
+    def test_coefficients_are_non_negative(self):
+        for config in STUDIED_CONFIGS.values():
+            params = energy_parameters_for(config)
+            assert params.mac_energy_pj > 0
+            assert params.dram_byte_energy_pj > params.sram_byte_energy_pj
+
+    def test_custom_config_gets_parameters(self):
+        custom = EDGE_TPU_V1.with_overrides(name="custom", pes_x=2)
+        params = energy_parameters_for(custom)
+        assert params.static_power_w < energy_parameters_for(EDGE_TPU_V1).static_power_w

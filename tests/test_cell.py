@@ -1,0 +1,182 @@
+"""Unit tests for the NASBench cell representation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidCellError
+from repro.nasbench import (
+    CONV1X1,
+    CONV3X3,
+    Cell,
+    INPUT,
+    MAXPOOL3X3,
+    OUTPUT,
+)
+
+
+def linear_cell(*ops: str) -> Cell:
+    """Build a simple chain cell input -> ops... -> output."""
+    n = len(ops) + 2
+    matrix = np.zeros((n, n), dtype=int)
+    for i in range(n - 1):
+        matrix[i, i + 1] = 1
+    return Cell(matrix, (INPUT, *ops, OUTPUT))
+
+
+class TestCellValidation:
+    def test_minimal_cell(self):
+        cell = Cell([[0, 1], [0, 0]], [INPUT, OUTPUT])
+        assert cell.num_vertices == 2
+        assert cell.num_edges == 1
+
+    def test_chain_cell_properties(self):
+        cell = linear_cell(CONV3X3, CONV1X1, MAXPOOL3X3)
+        assert cell.num_vertices == 5
+        assert cell.num_edges == 4
+        assert cell.interior_ops == (CONV3X3, CONV1X1, MAXPOOL3X3)
+        assert cell.op_count(CONV3X3) == 1
+        assert cell.op_count(CONV1X1) == 1
+        assert cell.op_count(MAXPOOL3X3) == 1
+
+    def test_rejects_non_square_matrix(self):
+        with pytest.raises(InvalidCellError):
+            Cell([[0, 1, 0], [0, 0, 1]], [INPUT, OUTPUT])
+
+    def test_rejects_lower_triangular_edges(self):
+        with pytest.raises(InvalidCellError):
+            Cell([[0, 1], [1, 0]], [INPUT, OUTPUT])
+
+    def test_rejects_self_loop(self):
+        matrix = [[1, 1], [0, 0]]
+        with pytest.raises(InvalidCellError):
+            Cell(matrix, [INPUT, OUTPUT])
+
+    def test_rejects_too_many_vertices(self):
+        n = 8
+        matrix = np.zeros((n, n), dtype=int)
+        for i in range(n - 1):
+            matrix[i, i + 1] = 1
+        with pytest.raises(InvalidCellError):
+            Cell(matrix, [INPUT] + [CONV3X3] * (n - 2) + [OUTPUT])
+
+    def test_rejects_too_many_edges(self):
+        n = 6
+        matrix = np.triu(np.ones((n, n), dtype=int), 1)  # 15 edges > 9
+        with pytest.raises(InvalidCellError):
+            Cell(matrix, [INPUT, CONV3X3, CONV3X3, CONV3X3, CONV3X3, OUTPUT])
+
+    def test_rejects_bad_ops(self):
+        with pytest.raises(InvalidCellError):
+            Cell([[0, 1, 0], [0, 0, 1], [0, 0, 0]], [INPUT, "conv7x7", OUTPUT])
+        with pytest.raises(InvalidCellError):
+            Cell([[0, 1], [0, 0]], [OUTPUT, INPUT])
+
+    def test_rejects_op_count_mismatch(self):
+        with pytest.raises(InvalidCellError):
+            Cell([[0, 1], [0, 0]], [INPUT, CONV3X3, OUTPUT])
+
+    def test_rejects_non_binary_entries(self):
+        with pytest.raises(InvalidCellError):
+            Cell([[0, 2], [0, 0]], [INPUT, OUTPUT])
+
+
+class TestPruning:
+    def test_prune_keeps_connected_cell(self):
+        cell = linear_cell(CONV3X3)
+        assert cell.prune() is cell
+
+    def test_prune_removes_dangling_vertex(self):
+        # vertex 2 (conv1x1) has no outgoing path to the output.
+        matrix = [
+            [0, 1, 1, 0],
+            [0, 0, 0, 1],
+            [0, 0, 0, 0],
+            [0, 0, 0, 0],
+        ]
+        cell = Cell(matrix, [INPUT, CONV3X3, CONV1X1, OUTPUT])
+        pruned = cell.prune()
+        assert pruned.num_vertices == 3
+        assert pruned.interior_ops == (CONV3X3,)
+
+    def test_prune_removes_unreachable_vertex(self):
+        # vertex 2 feeds the output but is not reachable from the input.
+        matrix = [
+            [0, 1, 0, 0],
+            [0, 0, 0, 1],
+            [0, 0, 0, 1],
+            [0, 0, 0, 0],
+        ]
+        cell = Cell(matrix, [INPUT, CONV3X3, MAXPOOL3X3, OUTPUT])
+        pruned = cell.prune()
+        assert pruned.num_vertices == 3
+        assert pruned.interior_ops == (CONV3X3,)
+
+    def test_disconnected_cell_raises(self):
+        matrix = [
+            [0, 1, 0, 0],
+            [0, 0, 0, 0],
+            [0, 0, 0, 1],
+            [0, 0, 0, 0],
+        ]
+        cell = Cell(matrix, [INPUT, CONV3X3, CONV3X3, OUTPUT])
+        assert not cell.is_valid()
+        with pytest.raises(InvalidCellError):
+            cell.prune()
+
+
+class TestGraphMetrics:
+    def test_depth_of_chain(self):
+        assert linear_cell(CONV3X3, CONV3X3, CONV3X3).depth() == 4
+
+    def test_depth_with_skip(self):
+        matrix = [
+            [0, 1, 0, 1],
+            [0, 0, 1, 0],
+            [0, 0, 0, 1],
+            [0, 0, 0, 0],
+        ]
+        cell = Cell(matrix, [INPUT, CONV3X3, CONV1X1, OUTPUT])
+        assert cell.depth() == 3
+
+    def test_width_of_chain_is_one(self):
+        assert linear_cell(CONV3X3, CONV3X3).width() == 1
+
+    def test_width_of_parallel_branches(self):
+        # input feeds three parallel ops which all feed the output.
+        matrix = [
+            [0, 1, 1, 1, 0],
+            [0, 0, 0, 0, 1],
+            [0, 0, 0, 0, 1],
+            [0, 0, 0, 0, 1],
+            [0, 0, 0, 0, 0],
+        ]
+        cell = Cell(matrix, [INPUT, CONV3X3, CONV1X1, MAXPOOL3X3, OUTPUT])
+        assert cell.width() == 3
+
+    def test_degrees_and_edges(self):
+        cell = linear_cell(CONV3X3, CONV1X1)
+        assert cell.edges() == [(0, 1), (1, 2), (2, 3)]
+        assert cell.in_degree(0) == 0
+        assert cell.out_degree(0) == 1
+        assert cell.in_degree(3) == 1
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        cell = linear_cell(CONV3X3, MAXPOOL3X3)
+        clone = Cell.from_dict(cell.to_dict())
+        assert clone == cell
+        assert hash(clone) == hash(cell)
+
+    def test_equality_distinguishes_ops(self):
+        a = linear_cell(CONV3X3)
+        b = linear_cell(CONV1X1)
+        assert a != b
+
+    def test_numpy_matrix_is_a_copy(self):
+        cell = linear_cell(CONV3X3)
+        matrix = cell.numpy_matrix()
+        matrix[0, 1] = 0
+        assert cell.numpy_matrix()[0, 1] == 1

@@ -1,0 +1,206 @@
+"""Tests for lowering, tiling/mapping and the parameter-cache planner."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import EDGE_TPU_V1, EDGE_TPU_V2, EDGE_TPU_V3, STUDIED_CONFIGS
+from repro.compiler import (
+    compile_model,
+    effective_cache_capacity,
+    lower_network,
+    map_layer,
+    max_activation_bytes,
+    plan_parameter_cache,
+)
+from repro.errors import CompilationError
+from repro.nasbench import build_network, random_cell
+from repro.nasbench.famous_cells import BEST_ACCURACY_CELL, SHALLOW_CONV_HEAVY_CELL
+from repro.nasbench.network import KIND_CONV, LayerSpec
+
+
+@pytest.fixture(scope="module")
+def best_network():
+    return build_network(BEST_ACCURACY_CELL)
+
+
+@pytest.fixture(scope="module")
+def small_network():
+    return build_network(SHALLOW_CONV_HEAVY_CELL)
+
+
+def conv_layer(out_channels=128, in_channels=128, size=32, kernel=3) -> LayerSpec:
+    return LayerSpec(
+        name="conv",
+        kind=KIND_CONV,
+        input_height=size,
+        input_width=size,
+        in_channels=in_channels,
+        out_channels=out_channels,
+        kernel_size=kernel,
+        has_batch_norm=True,
+    )
+
+
+class TestLowering:
+    def test_lowering_preserves_layer_order(self, best_network):
+        lowered = lower_network(best_network)
+        assert [layer.name for layer in lowered] == [
+            layer.name for layer in best_network.layers
+        ]
+
+    def test_unsupported_kind_rejected(self, best_network):
+        bad_layer = dataclasses.replace(best_network.layers[0], kind="depthwise_conv")
+        bad_network = dataclasses.replace(
+            best_network, layers=(bad_layer,) + best_network.layers[1:]
+        )
+        with pytest.raises(CompilationError):
+            lower_network(bad_network)
+
+    def test_max_activation_bytes(self, best_network):
+        layers = lower_network(best_network)
+        expected = max(
+            layer.input_activation_bytes + layer.output_activation_bytes for layer in layers
+        )
+        assert max_activation_bytes(layers) == expected
+
+
+class TestTiling:
+    def test_compute_cycles_cover_the_macs(self):
+        layer = conv_layer()
+        for config in STUDIED_CONFIGS.values():
+            mapping = map_layer(layer, config)
+            issued = mapping.compute_cycles * config.macs_per_cycle
+            assert issued >= layer.macs
+            assert 0 < mapping.utilization <= 1.0
+
+    def test_wider_machine_is_not_slower_in_cycles(self):
+        layer = conv_layer(out_channels=512, size=8, in_channels=512)
+        cycles_v1 = map_layer(layer, EDGE_TPU_V1).compute_cycles
+        cycles_v2 = map_layer(layer, EDGE_TPU_V2).compute_cycles
+        assert cycles_v1 <= cycles_v2
+
+    def test_thin_layers_underutilize_the_wide_machine(self):
+        thin = conv_layer(out_channels=32, in_channels=32, kernel=1)
+        utilization_v1 = map_layer(thin, EDGE_TPU_V1).utilization
+        utilization_v2 = map_layer(thin, EDGE_TPU_V2).utilization
+        assert utilization_v1 <= utilization_v2
+
+    def test_vector_layer_has_no_mac_utilization(self):
+        pool = LayerSpec(
+            name="pool",
+            kind="maxpool",
+            input_height=16,
+            input_width=16,
+            in_channels=64,
+            out_channels=64,
+            kernel_size=3,
+        )
+        mapping = map_layer(pool, EDGE_TPU_V2)
+        assert mapping.utilization == 0.0
+        assert mapping.compute_cycles >= 1
+        assert mapping.weight_passes == 0
+
+    def test_weight_passes_grow_with_layer_size(self):
+        small = conv_layer(out_channels=64, in_channels=64)
+        large = conv_layer(out_channels=512, in_channels=512, size=8)
+        assert (
+            map_layer(small, EDGE_TPU_V3).weight_passes
+            <= map_layer(large, EDGE_TPU_V3).weight_passes
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        out_channels=st.integers(min_value=1, max_value=512),
+        in_channels=st.integers(min_value=1, max_value=512),
+        kernel=st.sampled_from([1, 3]),
+        size=st.sampled_from([8, 16, 32]),
+    )
+    def test_mapping_invariants(self, out_channels, in_channels, kernel, size):
+        layer = conv_layer(out_channels, in_channels, size, kernel)
+        for config in (EDGE_TPU_V1, EDGE_TPU_V3):
+            mapping = map_layer(layer, config)
+            assert mapping.compute_cycles >= 1
+            assert mapping.compute_cycles * config.macs_per_cycle >= layer.macs
+            assert mapping.spatial_tiles >= 1
+            assert mapping.channel_tiles >= 1
+
+
+class TestParameterCache:
+    def test_effective_capacity_decays(self):
+        capacity = 10_000_000
+        assert effective_cache_capacity(5_000_000, capacity) == capacity
+        assert effective_cache_capacity(capacity, capacity) == capacity
+        assert effective_cache_capacity(2 * capacity, capacity) == capacity // 2
+        assert effective_cache_capacity(3 * capacity, capacity) == 0
+        assert effective_cache_capacity(123, 0) == 0
+
+    def test_small_model_is_fully_cached(self, small_network):
+        for config in STUDIED_CONFIGS.values():
+            plan = plan_parameter_cache(lower_network(small_network), config)
+            assert plan.fully_cached
+            assert plan.cached_bytes == plan.total_weight_bytes
+
+    def test_large_model_streams_on_small_memory_configs(self, best_network):
+        layers = lower_network(best_network)
+        plan_v2 = plan_parameter_cache(layers, EDGE_TPU_V2)
+        assert not plan_v2.fully_cached
+        assert plan_v2.streamed_bytes > 0
+        plan_v1 = plan_parameter_cache(layers, EDGE_TPU_V1)
+        assert plan_v1.streamed_bytes <= plan_v2.streamed_bytes
+
+    def test_cached_bytes_respect_capacity(self, best_network):
+        for config in STUDIED_CONFIGS.values():
+            plan = plan_parameter_cache(lower_network(best_network), config)
+            assert plan.cached_bytes <= plan.effective_capacity_bytes
+            assert plan.cached_bytes + plan.streamed_bytes == plan.total_weight_bytes
+
+    def test_disabled_caching_streams_everything(self, small_network):
+        plan = plan_parameter_cache(
+            lower_network(small_network), EDGE_TPU_V1, enable_caching=False
+        )
+        assert plan.cached_bytes == 0
+        assert plan.streamed_bytes == plan.total_weight_bytes
+
+    def test_is_cached_lookup(self, small_network):
+        plan = plan_parameter_cache(lower_network(small_network), EDGE_TPU_V1)
+        for name in plan.cached_layers:
+            assert plan.is_cached(name)
+        assert not plan.is_cached("not-a-layer")
+
+
+class TestCompileModel:
+    def test_compiled_model_layer_alignment(self, best_network):
+        compiled = compile_model(best_network, EDGE_TPU_V2)
+        assert len(compiled.layers) == len(best_network.layers)
+        for compiled_layer, layer in zip(compiled.layers, best_network.layers):
+            assert compiled_layer.spec is layer
+            assert (
+                compiled_layer.cached_weight_bytes + compiled_layer.streamed_weight_bytes
+                == layer.weight_bytes
+            )
+
+    def test_average_utilization_bounds(self, best_network):
+        for config in STUDIED_CONFIGS.values():
+            compiled = compile_model(best_network, config)
+            assert 0.0 < compiled.average_utilization <= 1.0
+
+    def test_total_compute_cycles_positive(self, small_network):
+        compiled = compile_model(small_network, EDGE_TPU_V3)
+        assert compiled.total_compute_cycles > 0
+        assert compiled.total_weight_bytes == sum(
+            layer.weight_bytes for layer in small_network.layers
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_random_models_compile_on_every_config(self, seed):
+        network = build_network(random_cell(np.random.default_rng(seed)))
+        for config in STUDIED_CONFIGS.values():
+            compiled = compile_model(network, config)
+            assert compiled.total_compute_cycles > 0

@@ -1,0 +1,98 @@
+"""Tests for the NASBenchDataset container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.nasbench import (
+    BEST_ACCURACY_CELL,
+    NASBenchDataset,
+    NetworkConfig,
+    cell_fingerprint,
+    sample_unique_cells,
+)
+
+
+class TestGeneration:
+    def test_generate_has_requested_size(self, dataset):
+        assert len(dataset) == 150
+
+    def test_records_are_unique(self, dataset):
+        fingerprints = {record.fingerprint for record in dataset}
+        assert len(fingerprints) == len(dataset)
+
+    def test_indices_are_consecutive(self, dataset):
+        assert [record.index for record in dataset] == list(range(len(dataset)))
+
+    def test_famous_cells_included_by_default(self, dataset):
+        assert BEST_ACCURACY_CELL in dataset
+        record = dataset.find_cell(BEST_ACCURACY_CELL)
+        assert record.mean_validation_accuracy == pytest.approx(0.95055)
+
+    def test_generation_is_deterministic(self):
+        a = NASBenchDataset.generate(num_models=30, seed=5)
+        b = NASBenchDataset.generate(num_models=30, seed=5)
+        assert [r.fingerprint for r in a] == [r.fingerprint for r in b]
+
+    def test_from_cells_deduplicates(self):
+        cells = sample_unique_cells(10, seed=1)
+        dataset = NASBenchDataset.from_cells(cells + cells)
+        assert len(dataset) == 10
+
+    def test_enumerate_small_space(self):
+        dataset = NASBenchDataset.enumerate(max_vertices=3)
+        assert len(dataset) == 7
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(DatasetError):
+            NASBenchDataset.from_cells([])
+
+
+class TestQueries:
+    def test_find_unknown_fingerprint_raises(self, dataset):
+        with pytest.raises(DatasetError):
+            dataset.find("not-a-fingerprint")
+
+    def test_filter_by_accuracy(self, dataset):
+        filtered = dataset.filter_by_accuracy(0.70)
+        assert len(filtered) <= len(dataset)
+        assert all(r.mean_validation_accuracy >= 0.70 for r in filtered)
+        # The filtered dataset keeps the original records (and indices).
+        assert filtered[0].index == dataset[filtered[0].index].index
+
+    def test_filter_that_removes_everything_raises(self, dataset):
+        with pytest.raises(DatasetError):
+            dataset.filter(lambda record: False)
+
+    def test_top_k_by_accuracy_is_sorted(self, dataset):
+        top = dataset.top_k_by_accuracy(5)
+        accuracies = [record.mean_validation_accuracy for record in top]
+        assert accuracies == sorted(accuracies, reverse=True)
+        assert top[0].mean_validation_accuracy == pytest.approx(0.95055)
+
+    def test_group_by_depth(self, dataset):
+        groups = dataset.group_by(lambda record: record.metrics.depth)
+        assert sum(len(records) for records in groups.values()) == len(dataset)
+        assert all(depth >= 1 for depth in groups)
+
+    def test_arrays_are_aligned(self, dataset):
+        accuracies = dataset.accuracies()
+        parameters = dataset.parameter_counts()
+        assert len(accuracies) == len(parameters) == len(dataset)
+        assert parameters.min() > 0
+
+    def test_record_builds_network_with_dataset_config(self, dataset):
+        record = dataset[0]
+        network = record.build_network(dataset.network_config)
+        assert network.trainable_parameters == record.trainable_parameters
+
+    def test_custom_network_config_changes_parameters(self):
+        cells = sample_unique_cells(5, seed=2)
+        small = NASBenchDataset.from_cells(
+            cells, network_config=NetworkConfig(stem_channels=64)
+        )
+        large = NASBenchDataset.from_cells(
+            cells, network_config=NetworkConfig(stem_channels=128)
+        )
+        assert small.parameter_counts().sum() < large.parameter_counts().sum()

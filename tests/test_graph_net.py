@@ -1,0 +1,193 @@
+"""Tests for graph feature encoding, batching, GN blocks and the full model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EncodeProcessDecode,
+    batch_graphs,
+    cell_to_graph,
+)
+from repro.core.graph_net import GraphNetBlock, IndependentBlock
+from repro.core.layers import MLP, LayerNorm, Linear, Module, truncated_normal
+from repro.errors import ModelError
+from repro.nasbench import (
+    BEST_ACCURACY_CELL,
+    CONV1X1,
+    CONV3X3,
+    Cell,
+    INPUT,
+    MAXPOOL3X3,
+    OUTPUT,
+    sample_unique_cells,
+)
+
+
+class TestFeatures:
+    def test_node_feature_encoding_follows_figure4(self):
+        cell = Cell(
+            [
+                [0, 1, 1, 1, 0],
+                [0, 0, 0, 0, 1],
+                [0, 0, 0, 0, 1],
+                [0, 0, 0, 0, 1],
+                [0, 0, 0, 0, 0],
+            ],
+            [INPUT, CONV3X3, MAXPOOL3X3, CONV1X1, OUTPUT],
+        )
+        graph = cell_to_graph(cell)
+        assert graph.nodes.reshape(-1).tolist() == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert np.all(graph.edges == 1.0)
+        assert graph.globals_.shape == (1, 1) and graph.globals_[0, 0] == 1.0
+
+    def test_edges_match_cell(self):
+        graph = cell_to_graph(BEST_ACCURACY_CELL)
+        assert graph.num_edges == BEST_ACCURACY_CELL.num_edges
+        assert graph.num_nodes == BEST_ACCURACY_CELL.num_vertices
+        assert np.all(graph.senders < graph.receivers)  # upper-triangular DAG
+
+    def test_graph_uses_pruned_cell(self):
+        # A dangling vertex disappears from the graph encoding.
+        cell = Cell(
+            [
+                [0, 1, 1, 0],
+                [0, 0, 0, 1],
+                [0, 0, 0, 0],
+                [0, 0, 0, 0],
+            ],
+            [INPUT, CONV3X3, CONV1X1, OUTPUT],
+        )
+        assert cell_to_graph(cell).num_nodes == 3
+
+
+class TestBatching:
+    def test_batch_offsets_are_applied(self):
+        cells = sample_unique_cells(5, seed=0)
+        graphs = [cell_to_graph(cell) for cell in cells]
+        batched = batch_graphs(graphs)
+        assert batched.num_graphs == 5
+        assert batched.nodes.shape[0] == sum(graph.num_nodes for graph in graphs)
+        assert batched.edges.shape[0] == sum(graph.num_edges for graph in graphs)
+        # Sender indices of the second graph start after the first graph's nodes.
+        first_nodes = graphs[0].num_nodes
+        second_slice = slice(graphs[0].num_edges, graphs[0].num_edges + graphs[1].num_edges)
+        assert batched.senders[second_slice].min() >= first_nodes
+
+    def test_graph_ids_partition_rows(self):
+        graphs = [cell_to_graph(cell) for cell in sample_unique_cells(3, seed=1)]
+        batched = batch_graphs(graphs)
+        for index, graph in enumerate(graphs):
+            assert int((batched.node_graph_ids == index).sum()) == graph.num_nodes
+            assert int((batched.edge_graph_ids == index).sum()) == graph.num_edges
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ModelError):
+            batch_graphs([])
+
+
+class TestLayers:
+    def test_linear_shapes(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(4, 8, rng)
+        from repro.core.autodiff import Tensor
+
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 8)
+
+    def test_truncated_normal_bounds(self):
+        rng = np.random.default_rng(0)
+        samples = truncated_normal(rng, (1000,), stddev=0.5)
+        assert np.all(np.abs(samples) <= 1.0 + 1e-12)
+
+    def test_mlp_parameter_count(self):
+        rng = np.random.default_rng(0)
+        mlp = MLP(4, 16, 16, rng, use_layer_norm=True)
+        # (4*16 + 16) + (16*16 + 16) + (16 + 16) layer norm
+        assert mlp.num_parameters() == 4 * 16 + 16 + 16 * 16 + 16 + 32
+
+    def test_module_zero_grad(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(2, 2, rng)
+        from repro.core.autodiff import Tensor, tensor_sum
+
+        tensor_sum(layer(Tensor(np.ones((1, 2))))).backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_layer_norm_module_shapes(self):
+        norm = LayerNorm(6)
+        from repro.core.autodiff import Tensor
+
+        out = norm(Tensor(np.random.default_rng(1).normal(size=(3, 6))))
+        assert out.shape == (3, 6)
+
+
+class TestBlocks:
+    def test_independent_block_preserves_structure(self):
+        rng = np.random.default_rng(0)
+        graphs = batch_graphs([cell_to_graph(c) for c in sample_unique_cells(3, seed=2)])
+        block = IndependentBlock((1, 8), (1, 8), (1, 8), hidden_size=8, rng=rng)
+        out = block(graphs)
+        assert out.nodes.shape == (graphs.nodes.shape[0], 8)
+        assert out.edges.shape == (graphs.edges.shape[0], 8)
+        assert out.globals_.shape == (3, 8)
+        assert out.senders is graphs.senders
+
+    def test_graph_net_block_output_shapes(self):
+        rng = np.random.default_rng(0)
+        graphs = batch_graphs([cell_to_graph(c) for c in sample_unique_cells(4, seed=3)])
+        encoder = IndependentBlock((1, 8), (1, 8), (1, 8), hidden_size=8, rng=rng)
+        block = GraphNetBlock(8, 8, 8, latent_size=8, hidden_size=8, rng=rng)
+        out = block(encoder(graphs))
+        assert out.nodes.shape[1] == 8
+        assert out.edges.shape[1] == 8
+        assert out.globals_.shape == (4, 8)
+
+    def test_message_passing_is_permutation_insensitive(self):
+        """Isomorphic cells produce identical predictions."""
+        from repro.nasbench import permute_cell
+
+        cell = Cell(
+            [
+                [0, 1, 1, 0],
+                [0, 0, 0, 1],
+                [0, 0, 0, 1],
+                [0, 0, 0, 0],
+            ],
+            [INPUT, CONV3X3, MAXPOOL3X3, OUTPUT],
+        )
+        permuted = permute_cell(cell, [0, 2, 1, 3])
+        model = EncodeProcessDecode(seed=0)
+        a = model.predict(batch_graphs([cell_to_graph(cell)]))
+        b = model.predict(batch_graphs([cell_to_graph(permuted)]))
+        assert a == pytest.approx(b)
+
+
+class TestEncodeProcessDecode:
+    def test_returns_one_prediction_per_step(self):
+        model = EncodeProcessDecode(num_message_passing_steps=4, seed=0)
+        graphs = batch_graphs([cell_to_graph(c) for c in sample_unique_cells(6, seed=4)])
+        predictions = model(graphs)
+        assert len(predictions) == 4
+        assert all(p.shape == (6, 1) for p in predictions)
+
+    def test_invalid_step_count_rejected(self):
+        with pytest.raises(ModelError):
+            EncodeProcessDecode(num_message_passing_steps=0)
+
+    def test_different_graphs_get_different_predictions(self):
+        model = EncodeProcessDecode(seed=0)
+        cells = sample_unique_cells(8, seed=5)
+        predictions = model.predict(batch_graphs([cell_to_graph(c) for c in cells]))
+        assert len(np.unique(np.round(predictions, 10))) > 1
+
+    def test_prediction_is_batch_invariant(self):
+        model = EncodeProcessDecode(seed=0)
+        cells = sample_unique_cells(5, seed=6)
+        graphs = [cell_to_graph(c) for c in cells]
+        together = model.predict(batch_graphs(graphs))
+        separate = np.array([model.predict(batch_graphs([g]))[0] for g in graphs])
+        assert np.allclose(together, separate, atol=1e-9)

@@ -1,0 +1,115 @@
+"""Tests for graph-isomorphism hashing, including property-based invariance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nasbench import (
+    CONV1X1,
+    CONV3X3,
+    Cell,
+    INPUT,
+    INTERIOR_OPS,
+    MAXPOOL3X3,
+    OUTPUT,
+    cell_fingerprint,
+    hash_graph,
+    permute_cell,
+    random_cell,
+)
+
+
+def test_hash_is_deterministic():
+    cell = Cell([[0, 1, 0], [0, 0, 1], [0, 0, 0]], [INPUT, CONV3X3, OUTPUT])
+    assert cell_fingerprint(cell) == cell_fingerprint(cell)
+
+
+def test_hash_differs_for_different_ops():
+    a = Cell([[0, 1, 0], [0, 0, 1], [0, 0, 0]], [INPUT, CONV3X3, OUTPUT])
+    b = Cell([[0, 1, 0], [0, 0, 1], [0, 0, 0]], [INPUT, CONV1X1, OUTPUT])
+    assert cell_fingerprint(a) != cell_fingerprint(b)
+
+
+def test_hash_differs_for_different_structure():
+    chain = Cell(
+        [[0, 1, 0, 0], [0, 0, 1, 0], [0, 0, 0, 1], [0, 0, 0, 0]],
+        [INPUT, CONV3X3, CONV3X3, OUTPUT],
+    )
+    parallel = Cell(
+        [[0, 1, 1, 0], [0, 0, 0, 1], [0, 0, 0, 1], [0, 0, 0, 0]],
+        [INPUT, CONV3X3, CONV3X3, OUTPUT],
+    )
+    assert cell_fingerprint(chain) != cell_fingerprint(parallel)
+
+
+def test_hash_ignores_extraneous_vertices():
+    base = Cell([[0, 1, 0], [0, 0, 1], [0, 0, 0]], [INPUT, MAXPOOL3X3, OUTPUT])
+    with_dangling = Cell(
+        [
+            [0, 1, 1, 0],
+            [0, 0, 0, 1],
+            [0, 0, 0, 0],  # dangling conv1x1 never reaches the output
+            [0, 0, 0, 0],
+        ],
+        [INPUT, MAXPOOL3X3, CONV1X1, OUTPUT],
+    )
+    assert cell_fingerprint(base) == cell_fingerprint(with_dangling)
+
+
+def test_interior_permutation_preserves_hash():
+    # Two interior vertices on parallel branches can be swapped freely.
+    cell = Cell(
+        [
+            [0, 1, 1, 0],
+            [0, 0, 0, 1],
+            [0, 0, 0, 1],
+            [0, 0, 0, 0],
+        ],
+        [INPUT, CONV3X3, MAXPOOL3X3, OUTPUT],
+    )
+    permuted = permute_cell(cell, [0, 2, 1, 3])
+    assert permuted.ops[1] == MAXPOOL3X3
+    assert cell_fingerprint(cell) == cell_fingerprint(permuted)
+
+
+def test_permute_cell_validates_permutation():
+    cell = Cell([[0, 1, 0], [0, 0, 1], [0, 0, 0]], [INPUT, CONV3X3, OUTPUT])
+    with pytest.raises(ValueError):
+        permute_cell(cell, [1, 0, 2])
+    with pytest.raises(ValueError):
+        permute_cell(cell, [0, 0, 2])
+
+
+def test_hash_graph_rejects_label_mismatch():
+    with pytest.raises(ValueError):
+        hash_graph(np.zeros((3, 3), dtype=int), [1, 2])
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_random_parallel_branch_swap_is_hash_invariant(seed):
+    """Swapping two parallel interior branches never changes the fingerprint."""
+    rng = np.random.default_rng(seed)
+    ops = [str(rng.choice(INTERIOR_OPS)) for _ in range(2)]
+    matrix = np.array(
+        [
+            [0, 1, 1, 0],
+            [0, 0, 0, 1],
+            [0, 0, 0, 1],
+            [0, 0, 0, 0],
+        ]
+    )
+    cell = Cell(matrix, [INPUT, ops[0], ops[1], OUTPUT])
+    swapped = Cell(matrix, [INPUT, ops[1], ops[0], OUTPUT])
+    assert cell_fingerprint(cell) == cell_fingerprint(swapped)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_fingerprint_stable_under_pruning(seed):
+    """Pruning before hashing never changes the fingerprint of a pruned cell."""
+    rng = np.random.default_rng(seed)
+    cell = random_cell(rng)
+    assert cell_fingerprint(cell, prune=True) == cell_fingerprint(cell, prune=False)

@@ -1,0 +1,224 @@
+"""Tests for network expansion, channel inference and parameter counting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidCellError
+from repro.nasbench import (
+    CONV1X1,
+    CONV3X3,
+    Cell,
+    INPUT,
+    MAXPOOL3X3,
+    NetworkConfig,
+    OUTPUT,
+    build_network,
+    compute_vertex_channels,
+    count_parameters,
+    random_cell,
+)
+from repro.nasbench.famous_cells import (
+    BEST_ACCURACY_CELL,
+    DEEP_CONV_HEAVY_CELL,
+    SECOND_BEST_ACCURACY_CELL,
+    SHALLOW_CONV_HEAVY_CELL,
+)
+from repro.nasbench.network import KIND_CONV, KIND_DENSE, KIND_PROJECTION, LayerSpec
+
+
+def chain_cell(*ops: str) -> Cell:
+    n = len(ops) + 2
+    matrix = np.zeros((n, n), dtype=int)
+    for i in range(n - 1):
+        matrix[i, i + 1] = 1
+    return Cell(matrix, (INPUT, *ops, OUTPUT))
+
+
+class TestVertexChannels:
+    def test_trivial_cell(self):
+        matrix = np.array([[0, 1], [0, 0]])
+        assert compute_vertex_channels(128, 256, matrix) == [128, 256]
+
+    def test_single_vertex_gets_output_channels(self):
+        matrix = np.array([[0, 1, 0], [0, 0, 1], [0, 0, 0]])
+        assert compute_vertex_channels(128, 256, matrix) == [128, 256, 256]
+
+    def test_output_channels_split_across_concat(self):
+        # Two interior vertices both feed the output: channels split evenly.
+        matrix = np.array(
+            [
+                [0, 1, 1, 0],
+                [0, 0, 0, 1],
+                [0, 0, 0, 1],
+                [0, 0, 0, 0],
+            ]
+        )
+        channels = compute_vertex_channels(128, 255, matrix)
+        assert channels[0] == 128
+        assert channels[3] == 255
+        assert sorted(channels[1:3]) == [127, 128]  # remainder goes to vertex 1
+        assert sum(channels[1:3]) == 255
+
+    def test_interior_vertex_uses_max_of_successors(self):
+        # vertex1 -> vertex2 -> output and vertex1 -> vertex3 -> output
+        matrix = np.array(
+            [
+                [0, 1, 0, 0, 0],
+                [0, 0, 1, 1, 0],
+                [0, 0, 0, 0, 1],
+                [0, 0, 0, 0, 1],
+                [0, 0, 0, 0, 0],
+            ]
+        )
+        channels = compute_vertex_channels(128, 129, matrix)
+        # vertex2 gets 65 (remainder), vertex3 gets 64, vertex1 takes the max.
+        assert channels[2] == 65 and channels[3] == 64
+        assert channels[1] == 65
+
+
+class TestLayerSpec:
+    def test_conv_macs_and_params(self):
+        layer = LayerSpec(
+            name="conv",
+            kind=KIND_CONV,
+            input_height=32,
+            input_width=32,
+            in_channels=16,
+            out_channels=32,
+            kernel_size=3,
+            has_batch_norm=True,
+        )
+        assert layer.output_height == 32 and layer.output_width == 32
+        assert layer.macs == 3 * 3 * 16 * 32 * 32 * 32
+        assert layer.trainable_parameters == 3 * 3 * 16 * 32 + 2 * 32
+        assert layer.weight_bytes == 3 * 3 * 16 * 32 + 4 * 32
+        assert layer.input_activation_bytes == 32 * 32 * 16
+        assert layer.output_activation_bytes == 32 * 32 * 32
+
+    def test_dense_layer(self):
+        layer = LayerSpec(
+            name="dense",
+            kind=KIND_DENSE,
+            input_height=1,
+            input_width=1,
+            in_channels=512,
+            out_channels=10,
+        )
+        assert layer.macs == 5120
+        assert layer.trainable_parameters == 512 * 10 + 10
+
+    def test_pooling_has_no_weights(self):
+        layer = LayerSpec(
+            name="pool",
+            kind="maxpool",
+            input_height=16,
+            input_width=16,
+            in_channels=64,
+            out_channels=64,
+            kernel_size=3,
+        )
+        assert layer.macs == 0
+        assert layer.trainable_parameters == 0
+        assert layer.weight_bytes == 0
+
+    def test_stride_two_halves_resolution(self):
+        layer = LayerSpec(
+            name="down",
+            kind="downsample",
+            input_height=32,
+            input_width=32,
+            in_channels=64,
+            out_channels=64,
+            kernel_size=2,
+            stride=2,
+        )
+        assert layer.output_height == 16 and layer.output_width == 16
+
+
+class TestBuildNetwork:
+    def test_stem_and_head_are_present(self):
+        network = build_network(chain_cell(CONV3X3))
+        names = [layer.name for layer in network.layers]
+        assert names[0] == "stem/conv3x3"
+        assert names[-1] == "head/dense"
+        assert "head/global_pool" in names
+
+    def test_number_of_cell_instances(self):
+        config = NetworkConfig(num_stacks=3, cells_per_stack=3)
+        network = build_network(chain_cell(CONV3X3), config)
+        conv_layers = [
+            layer for layer in network.layers if "vertex1/conv3x3" in layer.name
+        ]
+        assert len(conv_layers) == 9  # one per cell instance
+
+    def test_downsampling_halves_spatial_and_doubles_channels(self):
+        network = build_network(chain_cell(CONV3X3))
+        last_stack_convs = [
+            layer
+            for layer in network.layers
+            if layer.name.startswith("stack2") and layer.kind == KIND_CONV
+        ]
+        assert all(layer.input_height == 8 for layer in last_stack_convs)
+        assert all(layer.out_channels == 512 for layer in last_stack_convs)
+
+    def test_maxpool_only_cell_uses_projections(self):
+        network = build_network(chain_cell(MAXPOOL3X3))
+        kinds = {layer.kind for layer in network.layers}
+        assert KIND_PROJECTION in kinds
+        # The only MAC-carrying layers are stem, projections and the head.
+        for layer in network.weighted_layers():
+            assert layer.kind in (KIND_CONV, KIND_PROJECTION, KIND_DENSE)
+
+    def test_invalid_network_config_rejected(self):
+        with pytest.raises(InvalidCellError):
+            NetworkConfig(num_stacks=0)
+        with pytest.raises(InvalidCellError):
+            NetworkConfig(image_size=2, num_stacks=3)
+
+
+class TestParameterCounting:
+    def test_parameter_range_matches_nasbench_scale(self):
+        """Parameter counts land in the published NASBench-101 range (Table 1)."""
+        smallest = count_parameters(chain_cell(MAXPOOL3X3))
+        largest = count_parameters(DEEP_CONV_HEAVY_CELL)
+        assert 2e5 < smallest < 2e6
+        assert 4.0e7 < largest < 5.5e7
+
+    def test_named_cells_match_paper_magnitudes(self):
+        best = count_parameters(BEST_ACCURACY_CELL)
+        second = count_parameters(SECOND_BEST_ACCURACY_CELL)
+        # Paper: 41.6M and 25.0M; the reconstruction should be within ~20%.
+        assert 3.3e7 < best < 4.6e7
+        assert 1.9e7 < second < 2.9e7
+        assert second < best
+
+    def test_conv3x3_heavier_than_conv1x1(self):
+        assert count_parameters(chain_cell(CONV3X3)) > count_parameters(chain_cell(CONV1X1))
+
+    def test_shallow_cell_has_fewer_parameters_than_deep_chain(self):
+        # Same operation multiset, but the concatenation divides the channels.
+        assert count_parameters(SHALLOW_CONV_HEAVY_CELL) < count_parameters(
+            DEEP_CONV_HEAVY_CELL
+        )
+
+    def test_count_matches_network_spec(self):
+        cell = chain_cell(CONV3X3, CONV1X1)
+        assert count_parameters(cell) == build_network(cell).trainable_parameters
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_network_invariants_hold_for_random_cells(seed):
+    """Structural invariants of the expansion hold for arbitrary valid cells."""
+    cell = random_cell(np.random.default_rng(seed))
+    network = build_network(cell)
+    assert network.trainable_parameters > 0
+    assert network.total_macs > 0
+    assert network.total_weight_bytes > 0
+    # int8 weight bytes track trainable parameters to within the bias/norm terms.
+    assert network.total_weight_bytes < network.trainable_parameters * 2.5
+    assert network.layers[0].kind == KIND_CONV
+    assert network.layers[-1].kind == KIND_DENSE
