@@ -13,6 +13,11 @@ claim: starting from the V1 configuration, it sweeps
 and reports the average latency over a fixed workload sample for every
 combination, highlighting which knob actually moves the needle.
 
+The workload is expanded and flattened into a :class:`LayerTable` exactly
+once and shared by all twelve derived configurations — the batch engine's
+compile-once, array-of-layers sweep makes the whole exploration run in well
+under a second.
+
 Run with:  python examples/design_space_exploration.py [num_models]
 """
 
@@ -20,12 +25,14 @@ import sys
 
 import numpy as np
 
-from repro import EDGE_TPU_V1, NASBenchDataset, PerformanceSimulator
+from repro import EDGE_TPU_V1, BatchSimulator, LayerTable, NASBenchDataset
 
 
 def main(num_models: int = 150) -> None:
     dataset = NASBenchDataset.generate(num_models=num_models, seed=3)
     networks = [record.build_network() for record in dataset.records]
+    table = LayerTable.from_networks(networks)
+    simulator = BatchSimulator()
 
     pe_grids = [(4, 4), (4, 2), (2, 2), (2, 1)]
     bandwidths = [8.5, 17.0, 34.0]
@@ -46,8 +53,7 @@ def main(num_models: int = 150) -> None:
                 pes_y=pes_y,
                 io_bandwidth_gbps=bandwidth,
             )
-            simulator = PerformanceSimulator(config)
-            latencies = [simulator.simulate(network).latency_ms for network in networks]
+            latencies, _ = simulator.evaluate_table(table, config)
             average = float(np.mean(latencies))
             if baseline is None:
                 baseline = average

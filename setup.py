@@ -1,10 +1,25 @@
-"""Setuptools shim.
+"""Setuptools configuration.
 
-The canonical project metadata lives in ``pyproject.toml``; this file exists
-so that ``pip install -e .`` also works on environments whose setuptools is
-too old to provide PEP 660 editable installs without the ``wheel`` package.
+The project keeps its metadata here (no pyproject.toml yet); the only hard
+runtime dependency is NumPy, which the compiler/simulator array kernels and
+the analysis modules require.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-edge-tpu-nasbench",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'An Evaluation of Edge TPU Accelerators for "
+        "Convolutional Neural Networks'"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.22"],
+    extras_require={
+        "test": ["pytest", "hypothesis"],
+        "bench": ["pytest", "pytest-benchmark"],
+    },
+)

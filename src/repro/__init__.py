@@ -32,18 +32,25 @@ from .errors import (
 )
 from .nasbench import (
     Cell,
+    LayerTable,
     NASBenchDataset,
     NetworkConfig,
     build_network,
     cell_fingerprint,
     sample_unique_cells,
 )
-from .simulator import MeasurementSet, PerformanceSimulator, evaluate_dataset
+from .simulator import (
+    BatchSimulator,
+    MeasurementSet,
+    PerformanceSimulator,
+    evaluate_dataset,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AcceleratorConfig",
+    "BatchSimulator",
     "Cell",
     "CompilationError",
     "DatasetError",
@@ -52,6 +59,7 @@ __all__ = [
     "EDGE_TPU_V3",
     "InvalidCellError",
     "InvalidConfigError",
+    "LayerTable",
     "LearnedPerformanceModel",
     "MeasurementSet",
     "ModelError",

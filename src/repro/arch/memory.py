@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from .config import AcceleratorConfig
 
 
@@ -30,14 +32,37 @@ class MemoryBudget:
     pe_memory_bytes: int
 
 
-def activation_reserve_bytes(config: AcceleratorConfig, max_layer_activation_bytes: int) -> int:
+def activation_reserve_bytes(config: AcceleratorConfig, max_layer_activation_bytes):
     """Bytes of PE memory that must stay free for activations.
 
     The working set of a layer (inputs plus outputs) is double buffered so the
     next layer's inputs can stream in while the current layer executes.
+    Elementwise: accepts one scalar (returning a plain ``int``) or an array of
+    per-model maxima.
     """
-    reserve = 2 * max_layer_activation_bytes
-    return min(reserve, config.total_pe_memory_bytes)
+    reserve = np.minimum(
+        2 * max_layer_activation_bytes, config.total_pe_memory_bytes
+    )
+    return reserve if isinstance(reserve, np.ndarray) else int(reserve)
+
+
+def _cacheable_pe_memory_bytes(config: AcceleratorConfig, reserve):
+    """PE memory the compiler may devote to cached parameters (elementwise)."""
+    return (
+        np.maximum(0, config.total_pe_memory_bytes - reserve)
+        * config.pe_memory_cache_fraction
+    ).astype(np.int64)
+
+
+def parameter_cache_bytes(config: AcceleratorConfig, max_layer_activation_bytes):
+    """Parameter-cache capacity in bytes (elementwise over scalars or arrays).
+
+    Single source of the capacity formula shared by the scalar
+    :func:`parameter_cache_capacity` budget and the batch planner in
+    :mod:`repro.compiler.param_cache`.
+    """
+    reserve = activation_reserve_bytes(config, max_layer_activation_bytes)
+    return _cacheable_pe_memory_bytes(config, reserve) + config.total_core_memory_bytes
 
 
 def parameter_cache_capacity(
@@ -45,13 +70,10 @@ def parameter_cache_capacity(
 ) -> MemoryBudget:
     """Compute the memory budget available to the parameter-cache planner."""
     reserve = activation_reserve_bytes(config, max_layer_activation_bytes)
-    cacheable_pe_memory = int(
-        max(0, config.total_pe_memory_bytes - reserve) * config.pe_memory_cache_fraction
-    )
-    cache_bytes = cacheable_pe_memory + config.total_core_memory_bytes
+    cache_bytes = _cacheable_pe_memory_bytes(config, reserve) + config.total_core_memory_bytes
     return MemoryBudget(
-        activation_reserve_bytes=reserve,
-        parameter_cache_bytes=cache_bytes,
+        activation_reserve_bytes=int(reserve),
+        parameter_cache_bytes=int(cache_bytes),
         core_memory_bytes=config.total_core_memory_bytes,
         pe_memory_bytes=config.total_pe_memory_bytes,
     )

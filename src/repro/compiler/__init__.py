@@ -3,11 +3,36 @@
 from __future__ import annotations
 
 from ..arch.config import AcceleratorConfig
+from ..nasbench.layer_table import LayerTable
 from ..nasbench.network import NetworkSpec
 from .lowering import SUPPORTED_KINDS, lower_network, max_activation_bytes
-from .param_cache import CachePlan, effective_cache_capacity, plan_parameter_cache
-from .schedule import CompiledLayer, CompiledModel
-from .tiling import LayerMapping, map_layer
+from .param_cache import (
+    CachePlan,
+    CacheTable,
+    effective_cache_capacity,
+    greedy_cache_assign,
+    plan_cache_table,
+    plan_parameter_cache,
+)
+from .schedule import CompiledLayer, CompiledModel, CompiledTable
+from .tiling import LayerMapping, MappingTable, map_layer, map_layer_table
+
+
+def compile_layer_table(
+    table: LayerTable,
+    config: AcceleratorConfig,
+    enable_parameter_caching: bool = True,
+) -> CompiledTable:
+    """Compile every model of *table* for *config* in one vectorized pass.
+
+    This is the batch analogue of :func:`compile_model`: the tiling/mapping
+    kernel and the parameter-cache planner run once over the whole
+    structure-of-arrays table (the table itself is built once per dataset and
+    shared across configurations — compile-once, simulate wide).
+    """
+    mapping = map_layer_table(table, config)
+    cache = plan_cache_table(table, config, enable_caching=enable_parameter_caching)
+    return CompiledTable(config=config, table=table, mapping=mapping, cache=cache)
 
 
 def compile_model(
@@ -21,19 +46,22 @@ def compile_model(
     the network is lowered to the accelerator's operation stream, every
     operation is mapped onto the PE/core/lane hierarchy, and the parameter
     cache plan decides which weights stay resident on-chip across inferences.
+    The mapping math runs through the same array kernel as the batch path
+    (one single-model table), so the scalar and vectorized results cannot
+    drift apart.
     """
     layers = lower_network(network)
     cache_plan = plan_parameter_cache(layers, config, enable_caching=enable_parameter_caching)
+    mapped = map_layer_table(LayerTable.from_specs(layers), config)
 
     compiled_layers = []
-    for layer in layers:
-        mapping = map_layer(layer, config)
+    for index, layer in enumerate(layers):
         streamed = cache_plan.streamed_bytes_by_layer.get(layer.name, 0)
         cached = layer.weight_bytes - streamed
         compiled_layers.append(
             CompiledLayer(
                 spec=layer,
-                mapping=mapping,
+                mapping=mapped.row(index),
                 cached_weight_bytes=cached,
                 streamed_weight_bytes=streamed,
             )
@@ -49,14 +77,21 @@ def compile_model(
 
 __all__ = [
     "CachePlan",
+    "CacheTable",
     "CompiledLayer",
     "CompiledModel",
+    "CompiledTable",
     "LayerMapping",
+    "MappingTable",
     "SUPPORTED_KINDS",
+    "compile_layer_table",
     "compile_model",
     "effective_cache_capacity",
+    "greedy_cache_assign",
     "lower_network",
     "map_layer",
+    "map_layer_table",
     "max_activation_bytes",
+    "plan_cache_table",
     "plan_parameter_cache",
 ]

@@ -16,32 +16,12 @@ topological order, so lowering is mostly a validation and normalization pass:
 from __future__ import annotations
 
 from ..errors import CompilationError
-from ..nasbench.network import (
-    KIND_ADD,
-    KIND_CONCAT,
-    KIND_CONV,
-    KIND_DENSE,
-    KIND_DOWNSAMPLE,
-    KIND_GLOBAL_POOL,
-    KIND_MAXPOOL,
-    KIND_PROJECTION,
-    LayerSpec,
-    NetworkSpec,
-)
+from ..nasbench.layer_table import KIND_CODES
+from ..nasbench.network import LayerSpec, NetworkSpec
 
-#: Layer kinds the accelerator supports natively.
-SUPPORTED_KINDS = frozenset(
-    {
-        KIND_CONV,
-        KIND_PROJECTION,
-        KIND_MAXPOOL,
-        KIND_DOWNSAMPLE,
-        KIND_ADD,
-        KIND_CONCAT,
-        KIND_GLOBAL_POOL,
-        KIND_DENSE,
-    }
-)
+#: Layer kinds the accelerator supports natively — exactly the kinds the
+#: array kernels encode, so the scalar and batch paths accept the same set.
+SUPPORTED_KINDS = frozenset(KIND_CODES)
 
 
 def lower_network(network: NetworkSpec) -> tuple[LayerSpec, ...]:

@@ -27,15 +27,21 @@ footprint reaches three times the nominal capacity.
 Layer selection is greedy by weight size (largest layers first), which both
 maximizes the bytes kept on chip for a given number of cached layers and
 mirrors the ahead-of-time compiler's preference for pinning the big reused
-tensors.
+tensors.  The greedy scan is implemented once, as the array kernel
+:func:`greedy_cache_assign` that plans every model of a
+:class:`~repro.nasbench.layer_table.LayerTable` segment-wise in parallel;
+the scalar :func:`plan_parameter_cache` is a thin wrapper over it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..arch.config import AcceleratorConfig
-from ..arch.memory import MemoryBudget, parameter_cache_capacity
+from ..arch.memory import MemoryBudget, parameter_cache_bytes, parameter_cache_capacity
+from ..nasbench.layer_table import LayerTable
 from ..nasbench.network import LayerSpec
 
 
@@ -71,14 +77,143 @@ class CachePlan:
         return layer_name in self.cached_layers
 
 
+@dataclass(frozen=True)
+class CacheTable:
+    """Structure-of-arrays cache plan for every model of a layer table.
+
+    The per-model arrays are indexed like the table's model segments; the
+    per-layer arrays are aligned with the table's layer rows.
+    """
+
+    #: Per-model nominal capacity (bytes).
+    capacity_bytes: np.ndarray
+    #: Per-model effective capacity after the diminishing-returns decay.
+    effective_capacity_bytes: np.ndarray
+    #: Per-model total weight footprint.
+    total_weight_bytes: np.ndarray
+    #: Per-model bytes resident on-chip across inferences.
+    cached_bytes: np.ndarray
+    #: Per-layer flag: weights (fully) resident on-chip.
+    cached_mask: np.ndarray
+    #: Per-layer bytes still streamed from DRAM each inference.
+    streamed_bytes: np.ndarray
+
+
+def effective_cache_capacity_array(total_weight_bytes, capacity_bytes):
+    """Effective cache capacity under the diminishing-returns rule (elementwise).
+
+    Single source of the decay formula: ``capacity`` while the weights fit,
+    then a linear decay of half the overflow, floored at zero.
+    """
+    overflow = np.maximum(0, total_weight_bytes - capacity_bytes)
+    effective = np.maximum(0, capacity_bytes - overflow // 2)
+    return np.where(capacity_bytes <= 0, 0, effective)
+
+
 def effective_cache_capacity(total_weight_bytes: int, capacity_bytes: int) -> int:
     """Effective parameter-cache capacity under the diminishing-returns rule."""
-    if capacity_bytes <= 0:
-        return 0
-    if total_weight_bytes <= capacity_bytes:
-        return capacity_bytes
-    overflow = total_weight_bytes - capacity_bytes
-    return max(0, capacity_bytes - overflow // 2)
+    return int(effective_cache_capacity_array(total_weight_bytes, capacity_bytes))
+
+
+def greedy_cache_assign(
+    weight_bytes: np.ndarray,
+    model_offsets: np.ndarray,
+    effective_capacity: np.ndarray,
+) -> np.ndarray:
+    """Run the greedy largest-first cache selection for every model segment.
+
+    Parameters
+    ----------
+    weight_bytes:
+        Per-layer weight footprints (zero-weight rows are never cached).
+    model_offsets:
+        Segment offsets delimiting the models (``len(models) + 1`` entries).
+    effective_capacity:
+        Per-model effective cache capacity in bytes.
+
+    Returns
+    -------
+    np.ndarray
+        Boolean mask over the layer rows: ``True`` where the layer's weights
+        are resident on-chip.  Within each model the selection is identical to
+        the scalar greedy scan: layers sorted by descending weight (stable, so
+        ties keep topological order), a layer cached only if it fits entirely
+        in the remaining effective capacity.
+    """
+    weights = np.asarray(weight_bytes, dtype=np.int64)
+    offsets = np.asarray(model_offsets, dtype=np.int64)
+    num_models = len(offsets) - 1
+    cached_mask = np.zeros(weights.shape[0], dtype=bool)
+
+    weighted_rows = np.flatnonzero(weights > 0)
+    if weighted_rows.size == 0:
+        return cached_mask
+    model_ids = np.repeat(np.arange(num_models), np.diff(offsets))
+
+    # Stable sort: model-major, then descending weight, ties in row order.
+    order = weighted_rows[
+        np.lexsort((-weights[weighted_rows], model_ids[weighted_rows]))
+    ]
+    sorted_weights = weights[order]
+    counts = np.bincount(model_ids[order], minlength=num_models)
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+
+    effective = np.asarray(effective_capacity, dtype=np.int64)
+    cached_bytes = np.zeros(num_models, dtype=np.int64)
+    fits_flags = np.zeros(sorted_weights.shape[0], dtype=bool)
+    # Greedy scan vectorized over models: iterate size ranks (bounded by the
+    # deepest model, ~tens), deciding the rank-j layer of every model at once.
+    for rank in range(int(counts.max())):
+        active = counts > rank
+        rows = starts[active] + rank
+        fits = cached_bytes[active] + sorted_weights[rows] <= effective[active]
+        cached_bytes[active] += sorted_weights[rows] * fits
+        fits_flags[rows] = fits
+
+    cached_mask[order] = fits_flags
+    return cached_mask
+
+
+def plan_cache_table(
+    table: LayerTable,
+    config: AcceleratorConfig,
+    enable_caching: bool = True,
+) -> CacheTable:
+    """Plan the parameter cache for every model of *table* on *config*.
+
+    Array form of :func:`plan_parameter_cache`: capacities, effective
+    capacities and the greedy selection are computed for all model segments in
+    one vectorized pass.
+    """
+    weights = table.weight_bytes
+    starts = table.segment_starts
+    total_weight = np.add.reduceat(weights, starts)
+
+    activation = table.input_activation_bytes + table.output_activation_bytes
+    max_activation = np.maximum.reduceat(activation, starts)
+    capacity = parameter_cache_bytes(config, max_activation)
+
+    if not enable_caching:
+        return CacheTable(
+            capacity_bytes=capacity,
+            effective_capacity_bytes=np.zeros_like(capacity),
+            total_weight_bytes=total_weight,
+            cached_bytes=np.zeros_like(total_weight),
+            cached_mask=np.zeros(len(weights), dtype=bool),
+            streamed_bytes=weights.copy(),
+        )
+
+    effective = effective_cache_capacity_array(total_weight, capacity)
+    cached_mask = greedy_cache_assign(weights, table.model_offsets, effective)
+    cached_weights = np.where(cached_mask, weights, 0)
+    return CacheTable(
+        capacity_bytes=capacity,
+        effective_capacity_bytes=effective,
+        total_weight_bytes=total_weight,
+        cached_bytes=np.add.reduceat(cached_weights, starts),
+        cached_mask=cached_mask,
+        streamed_bytes=weights - cached_weights,
+    )
 
 
 def plan_parameter_cache(
@@ -88,6 +223,9 @@ def plan_parameter_cache(
     budget: MemoryBudget | None = None,
 ) -> CachePlan:
     """Build the parameter-cache plan for *layers* on *config*.
+
+    Thin scalar wrapper over :func:`greedy_cache_assign` (single-model
+    segment) that materializes the name-keyed :class:`CachePlan`.
 
     Parameters
     ----------
@@ -125,26 +263,23 @@ def plan_parameter_cache(
         )
 
     effective = effective_cache_capacity(total_weight_bytes, capacity)
+    weights = np.array([layer.weight_bytes for layer in weighted], dtype=np.int64)
+    cached_mask = greedy_cache_assign(
+        weights,
+        np.array([0, weights.size], dtype=np.int64),
+        np.array([effective], dtype=np.int64),
+    )
 
-    cached_layers: set[str] = set()
-    cached_bytes = 0
-    streamed: dict[str, int] = {}
-    # Largest layers first; a layer is cached only if it fits entirely in the
-    # remaining effective capacity (partial layer caching would complicate the
-    # runtime for little benefit).
-    for layer in sorted(weighted, key=lambda item: item.weight_bytes, reverse=True):
-        if cached_bytes + layer.weight_bytes <= effective:
-            cached_layers.add(layer.name)
-            cached_bytes += layer.weight_bytes
-            streamed[layer.name] = 0
-        else:
-            streamed[layer.name] = layer.weight_bytes
-
+    cached_layers = {layer.name for layer, cached in zip(weighted, cached_mask) if cached}
+    streamed = {
+        layer.name: 0 if cached else layer.weight_bytes
+        for layer, cached in zip(weighted, cached_mask)
+    }
     return CachePlan(
         capacity_bytes=capacity,
         effective_capacity_bytes=effective,
         total_weight_bytes=total_weight_bytes,
-        cached_bytes=cached_bytes,
+        cached_bytes=int(weights[cached_mask].sum()),
         cached_layers=frozenset(cached_layers),
         streamed_bytes_by_layer=streamed,
     )

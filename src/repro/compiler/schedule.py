@@ -1,13 +1,23 @@
-"""Compiled-model representation: per-layer mappings plus the cache plan."""
+"""Compiled-model representations: per-layer mappings plus the cache plan.
+
+Two isomorphic forms exist: :class:`CompiledModel` holds scalar per-layer
+objects for one network (detailed inspection, layer breakdowns), while
+:class:`CompiledTable` holds the structure-of-arrays result of compiling a
+whole :class:`~repro.nasbench.layer_table.LayerTable` — one or many models —
+in a single vectorized pass (population sweeps).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..arch.config import AcceleratorConfig
+from ..nasbench.layer_table import LayerTable
 from ..nasbench.network import LayerSpec, NetworkSpec
-from .param_cache import CachePlan
-from .tiling import LayerMapping
+from .param_cache import CachePlan, CacheTable
+from .tiling import LayerMapping, MappingTable
 
 
 @dataclass(frozen=True)
@@ -61,3 +71,37 @@ class CompiledModel:
             if layer.spec.macs > 0
         )
         return total_macs / issued if issued else 0.0
+
+
+@dataclass(frozen=True)
+class CompiledTable:
+    """Vectorized compilation result for every model of a layer table.
+
+    The per-layer arrays of ``mapping`` and ``cache`` are aligned with the
+    rows of ``table``; per-model quantities use the table's segment offsets.
+    """
+
+    config: AcceleratorConfig
+    table: LayerTable
+    mapping: MappingTable
+    cache: CacheTable
+
+    @property
+    def num_models(self) -> int:
+        """Number of compiled model segments."""
+        return self.table.num_models
+
+    @property
+    def streamed_weight_bytes(self) -> np.ndarray:
+        """Per-layer weight bytes fetched from DRAM each steady-state inference."""
+        return self.cache.streamed_bytes
+
+    @property
+    def cached_weight_bytes(self) -> np.ndarray:
+        """Per-layer weight bytes resident on-chip across inferences."""
+        return self.table.weight_bytes - self.cache.streamed_bytes
+
+    @property
+    def total_compute_cycles(self) -> np.ndarray:
+        """Per-model sum of datapath cycles (no memory stalls or overheads)."""
+        return self.table.segment_sum(self.mapping.compute_cycles)

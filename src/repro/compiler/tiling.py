@@ -7,24 +7,31 @@ the convolution window and input channels is performed temporally by each
 lane's multi-way MAC unit.  The compute-cycle estimate is the product of the
 resulting tile counts, which naturally captures the quantization losses that
 make a wide accelerator (V1) under-utilized on thin layers.
+
+The mapping math lives in :func:`map_layer_table`, an array kernel operating
+on a whole :class:`~repro.nasbench.layer_table.LayerTable` at once (one or
+many models); :func:`map_layer` is a thin scalar wrapper over the same kernel
+so the per-layer and batch paths can never drift apart.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+
+import numpy as np
 
 from ..arch.config import AcceleratorConfig
 from ..errors import CompilationError
-from ..nasbench.network import (
-    KIND_CONV,
-    KIND_DENSE,
-    KIND_PROJECTION,
-    LayerSpec,
+from ..nasbench.layer_table import (
+    CODE_ADD,
+    CODE_DENSE,
+    CODE_DOWNSAMPLE,
+    CODE_GLOBAL_POOL,
+    CODE_MAXPOOL,
+    LayerTable,
+    ceil_div,
 )
-
-#: Layer kinds executed on the MAC datapath.
-_MAC_KINDS = frozenset({KIND_CONV, KIND_PROJECTION, KIND_DENSE})
+from ..nasbench.network import LayerSpec
 
 #: Cycle-count penalty of the alternative mapping that spreads output pixels
 #: across the cores of a PE (they contend for the shared PE memory ports).
@@ -64,91 +71,136 @@ class LayerMapping:
     weight_passes: int
 
 
-def map_layer(layer: LayerSpec, config: AcceleratorConfig) -> LayerMapping:
-    """Map *layer* onto *config* and estimate its datapath cycles."""
-    out_pixels = layer.output_height * layer.output_width
-    if out_pixels <= 0:
-        raise CompilationError(f"layer {layer.name!r} produces no output pixels")
+@dataclass(frozen=True)
+class MappingTable:
+    """Structure-of-arrays :class:`LayerMapping` for a whole layer table."""
 
-    if layer.kind in _MAC_KINDS:
-        return _map_mac_layer(layer, config, out_pixels)
-    return _map_vector_layer(layer, config, out_pixels)
+    spatial_tiles: np.ndarray
+    channel_tiles: np.ndarray
+    reduction_steps: np.ndarray
+    compute_cycles: np.ndarray
+    utilization: np.ndarray
+    weight_passes: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.compute_cycles)
+
+    def row(self, index: int) -> LayerMapping:
+        """Materialize one row as a scalar :class:`LayerMapping`."""
+        return LayerMapping(
+            spatial_tiles=int(self.spatial_tiles[index]),
+            channel_tiles=int(self.channel_tiles[index]),
+            reduction_steps=int(self.reduction_steps[index]),
+            compute_cycles=int(self.compute_cycles[index]),
+            utilization=float(self.utilization[index]),
+            weight_passes=int(self.weight_passes[index]),
+        )
 
 
-def _map_mac_layer(
-    layer: LayerSpec, config: AcceleratorConfig, out_pixels: int
-) -> LayerMapping:
-    """Map a convolution / dense layer onto the MAC datapath."""
-    if layer.kind == KIND_DENSE:
-        kernel_volume = layer.in_channels
-    else:
-        kernel_volume = layer.kernel_size * layer.kernel_size * layer.in_channels
+def map_layer_table(table: LayerTable, config: AcceleratorConfig) -> MappingTable:
+    """Map every layer row of *table* onto *config* in one vectorized pass.
 
-    reduction_steps = math.ceil(kernel_volume / config.macs_per_lane)
+    Both the MAC-datapath and the vector-path mappings are evaluated for all
+    rows and the applicable one selected per row; the redundant arithmetic is
+    cheaper than fancy indexing at population scale.
+    """
+    out_pixels = table.output_height * table.output_width
+    if np.any(out_pixels <= 0):
+        row = int(np.argmax(out_pixels <= 0))
+        model = int(np.searchsorted(table.model_offsets, row, side="right")) - 1
+        layer = row - int(table.model_offsets[model])
+        raise CompilationError(
+            f"layer {layer} of model {model} produces no output pixels"
+        )
+
+    code = table.kind_codes
+    is_mac = table.is_mac
+    out_channels = table.out_channels
+
+    # --- MAC datapath (conv / projection / dense) --------------------- #
+    kernel_volume = np.where(
+        code == CODE_DENSE,
+        table.in_channels,
+        table.kernel_size * table.kernel_size * table.in_channels,
+    )
+    reduction_steps = ceil_div(kernel_volume, config.macs_per_lane)
 
     # Mapping (a), "channel-major": output pixels across PEs, output channels
     # across the cores and SIMD lanes of each PE (Figure 2 of the paper).
-    pe_channel_split = max(1, config.num_pes // out_pixels) if out_pixels < config.num_pes else 1
+    num_pes = config.num_pes
+    pe_channel_split = np.where(
+        out_pixels < num_pes, np.maximum(1, num_pes // out_pixels), 1
+    )
     channel_slots_a = config.cores_per_pe * config.compute_lanes * pe_channel_split
-    spatial_tiles_a = math.ceil(out_pixels / config.num_pes)
-    channel_tiles_a = math.ceil(layer.out_channels / channel_slots_a)
+    spatial_tiles_a = ceil_div(out_pixels, num_pes)
+    channel_tiles_a = ceil_div(out_channels, channel_slots_a)
     cycles_a = spatial_tiles_a * channel_tiles_a * reduction_steps
 
     # Mapping (b), "core-spatial": output pixels across PEs *and* cores,
     # output channels across the SIMD lanes only.  Chosen by the compiler for
     # thin layers whose channel count cannot fill mapping (a); it pays a small
     # penalty for the cores' contention on the shared PE memory.
-    spatial_units = config.num_pes * config.cores_per_pe
-    pe_channel_split_b = max(1, spatial_units // out_pixels) if out_pixels < spatial_units else 1
-    spatial_tiles_b = math.ceil(out_pixels / spatial_units)
-    channel_tiles_b = math.ceil(layer.out_channels / (config.compute_lanes * pe_channel_split_b))
-    cycles_b = math.ceil(spatial_tiles_b * channel_tiles_b * reduction_steps * _CORE_SPATIAL_PENALTY)
-
-    if cycles_a <= cycles_b:
-        spatial_tiles, channel_tiles, compute_cycles = spatial_tiles_a, channel_tiles_a, cycles_a
-    else:
-        spatial_tiles, channel_tiles, compute_cycles = spatial_tiles_b, channel_tiles_b, cycles_b
-
-    issued_macs = compute_cycles * config.macs_per_cycle
-    utilization = layer.macs / issued_macs if issued_macs else 0.0
-
-    weight_passes = (
-        math.ceil(layer.weight_bytes / config.total_core_memory_bytes)
-        if layer.weight_bytes
-        else 0
+    spatial_units = num_pes * config.cores_per_pe
+    pe_channel_split_b = np.where(
+        out_pixels < spatial_units, np.maximum(1, spatial_units // out_pixels), 1
     )
-    return LayerMapping(
-        spatial_tiles=spatial_tiles,
-        channel_tiles=channel_tiles,
-        reduction_steps=reduction_steps,
+    spatial_tiles_b = ceil_div(out_pixels, spatial_units)
+    channel_tiles_b = ceil_div(out_channels, config.compute_lanes * pe_channel_split_b)
+    cycles_b = np.ceil(
+        spatial_tiles_b * channel_tiles_b * reduction_steps * _CORE_SPATIAL_PENALTY
+    ).astype(np.int64)
+
+    use_a = cycles_a <= cycles_b
+    mac_spatial = np.where(use_a, spatial_tiles_a, spatial_tiles_b)
+    mac_channel = np.where(use_a, channel_tiles_a, channel_tiles_b)
+    mac_cycles = np.where(use_a, cycles_a, cycles_b)
+
+    # --- Vector path (pooling / element-wise / data movement) ---------- #
+    ops_per_element = np.select(
+        [
+            (code == CODE_MAXPOOL) | (code == CODE_DOWNSAMPLE),
+            code == CODE_GLOBAL_POOL,
+            code == CODE_ADD,
+        ],
+        [
+            table.kernel_size * table.kernel_size,
+            table.input_height * table.input_width,
+            # in_channels carries the summed width of all inputs.
+            np.maximum(1, table.in_channels // np.maximum(1, out_channels)),
+        ],
+        default=1,
+    )
+    elements = out_pixels * out_channels * ops_per_element
+    # One ALU op per MAC slot per cycle.
+    vector_cycles = np.maximum(1, ceil_div(elements, config.macs_per_cycle))
+    vector_spatial = ceil_div(out_pixels, num_pes)
+
+    # --- Combine ------------------------------------------------------- #
+    compute_cycles = np.where(is_mac, mac_cycles, vector_cycles)
+    issued_macs = compute_cycles * config.macs_per_cycle
+    utilization = np.where(
+        is_mac, np.minimum(table.macs / np.maximum(issued_macs, 1), 1.0), 0.0
+    )
+    weight_passes = np.where(
+        table.weight_bytes > 0,
+        ceil_div(table.weight_bytes, config.total_core_memory_bytes),
+        0,
+    )
+    return MappingTable(
+        spatial_tiles=np.where(is_mac, mac_spatial, vector_spatial),
+        channel_tiles=np.where(is_mac, mac_channel, 1),
+        reduction_steps=np.where(is_mac, reduction_steps, ops_per_element),
         compute_cycles=compute_cycles,
-        utilization=min(utilization, 1.0),
+        utilization=utilization,
         weight_passes=weight_passes,
     )
 
 
-def _map_vector_layer(
-    layer: LayerSpec, config: AcceleratorConfig, out_pixels: int
-) -> LayerMapping:
-    """Map a pooling / element-wise layer onto the vector (non-MAC) path."""
-    if layer.kind in ("maxpool", "downsample"):
-        ops_per_element = layer.kernel_size * layer.kernel_size
-    elif layer.kind == "global_pool":
-        ops_per_element = layer.input_height * layer.input_width
-    elif layer.kind == "add":
-        # in_channels carries the summed width of all inputs.
-        ops_per_element = max(1, layer.in_channels // max(1, layer.out_channels))
-    else:  # concat and other pure data-movement layers
-        ops_per_element = 1
+def map_layer(layer: LayerSpec, config: AcceleratorConfig) -> LayerMapping:
+    """Map *layer* onto *config* and estimate its datapath cycles.
 
-    elements = out_pixels * layer.out_channels * ops_per_element
-    throughput = config.macs_per_cycle  # one ALU op per MAC slot per cycle
-    compute_cycles = max(1, math.ceil(elements / throughput))
-    return LayerMapping(
-        spatial_tiles=math.ceil(out_pixels / config.num_pes),
-        channel_tiles=1,
-        reduction_steps=ops_per_element,
-        compute_cycles=compute_cycles,
-        utilization=0.0,
-        weight_passes=0,
-    )
+    Thin scalar wrapper over :func:`map_layer_table` (a one-row table).
+    """
+    if layer.output_height * layer.output_width <= 0:
+        raise CompilationError(f"layer {layer.name!r} produces no output pixels")
+    return map_layer_table(LayerTable.from_specs((layer,)), config).row(0)

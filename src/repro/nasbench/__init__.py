@@ -21,6 +21,7 @@ from .famous_cells import (
 from .generator import enumerate_cells, random_cell, sample_unique_cells
 from .graph_metrics import CellMetrics, compute_metrics
 from .hashing import cell_fingerprint, hash_graph, permute_cell
+from .layer_table import KIND_CODES, LayerTable
 from .network import (
     LayerSpec,
     NetworkConfig,
@@ -54,7 +55,9 @@ __all__ = [
     "FAMOUS_CELLS",
     "INPUT",
     "INTERIOR_OPS",
+    "KIND_CODES",
     "LayerSpec",
+    "LayerTable",
     "MAXPOOL3X3",
     "MAX_EDGES",
     "MAX_VERTICES",

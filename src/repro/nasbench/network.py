@@ -196,6 +196,16 @@ class NetworkSpec:
         """Return only layers that carry weights (convolutions and dense)."""
         return [layer for layer in self.layers if layer.is_weighted]
 
+    def to_layer_table(self):
+        """Flatten this network into a single-model :class:`LayerTable`.
+
+        The table is the structure-of-arrays form consumed by the vectorized
+        compiler/simulator kernels (see :mod:`repro.nasbench.layer_table`).
+        """
+        from .layer_table import LayerTable
+
+        return LayerTable.from_specs(self.layers)
+
 
 # ---------------------------------------------------------------------- #
 # Channel inference (NASBench-101 ``compute_vertex_channels``)

@@ -1,12 +1,16 @@
 """Cycle-level Edge TPU performance and energy simulator."""
 
+from .batch import BatchSimulator
 from .engine import PerformanceSimulator
 from .latency import (
     LayerTiming,
+    TimingTable,
     activation_spill_bytes,
     cycles_to_milliseconds,
     model_latency_cycles,
+    model_latency_cycles_table,
     time_layer,
+    time_layer_table,
 )
 from .results import LayerResult, SimulationResult
 from .runner import (
@@ -18,6 +22,7 @@ from .runner import (
 )
 
 __all__ = [
+    "BatchSimulator",
     "LayerResult",
     "LayerTiming",
     "MeasurementSet",
@@ -25,10 +30,13 @@ __all__ = [
     "ModelMeasurement",
     "PerformanceSimulator",
     "SimulationResult",
+    "TimingTable",
     "activation_spill_bytes",
     "cycles_to_milliseconds",
     "evaluate_dataset",
     "model_latency_cycles",
+    "model_latency_cycles_table",
     "simulate_records",
     "time_layer",
+    "time_layer_table",
 ]

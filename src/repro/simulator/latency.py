@@ -18,9 +18,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..arch.config import AcceleratorConfig
 from ..arch.interconnect import on_chip_bytes_per_cycle, sustained_bytes_per_cycle
-from ..compiler.schedule import CompiledLayer, CompiledModel
+from ..compiler.schedule import CompiledLayer, CompiledModel, CompiledTable
 
 
 @dataclass(frozen=True)
@@ -32,6 +34,17 @@ class LayerTiming:
     on_chip_refill_bytes: int
     memory_cycles: float
     total_cycles: float
+
+
+@dataclass(frozen=True)
+class TimingTable:
+    """Structure-of-arrays :class:`LayerTiming` for a whole compiled table."""
+
+    compute_cycles: np.ndarray
+    dram_bytes: np.ndarray
+    on_chip_refill_bytes: np.ndarray
+    memory_cycles: np.ndarray
+    total_cycles: np.ndarray
 
 
 def activation_spill_bytes(layer: CompiledLayer, config: AcceleratorConfig) -> int:
@@ -72,9 +85,56 @@ def time_layer(
     )
 
 
+def time_layer_table(compiled: CompiledTable) -> TimingTable:
+    """Vectorized :func:`time_layer` over every layer row of a compiled table.
+
+    The model input image and classifier output DRAM traffic are charged to
+    the first and last layer of every model segment, exactly as the scalar
+    engine does via ``extra_dram_bytes``.
+    """
+    table = compiled.table
+    config = compiled.config
+
+    working_set = table.input_activation_bytes + table.output_activation_bytes
+    spill = np.where(working_set > config.total_pe_memory_bytes, working_set, 0)
+
+    extra = np.zeros(len(table), dtype=np.int64)
+    first_rows = table.model_offsets[:-1]
+    last_rows = table.model_offsets[1:] - 1
+    extra[first_rows] += table.input_activation_bytes[first_rows]
+    extra[last_rows] += table.output_activation_bytes[last_rows]
+
+    dram_bytes = compiled.streamed_weight_bytes + spill + extra
+    refill_bytes = compiled.cached_weight_bytes
+    dram_cycles = dram_bytes / sustained_bytes_per_cycle(config)
+    refill_cycles = refill_bytes / on_chip_bytes_per_cycle(config)
+    memory_cycles = np.maximum(dram_cycles, refill_cycles)
+
+    total = (
+        np.maximum(compiled.mapping.compute_cycles, memory_cycles)
+        + config.layer_overhead_cycles
+    )
+    return TimingTable(
+        compute_cycles=compiled.mapping.compute_cycles,
+        dram_bytes=dram_bytes,
+        on_chip_refill_bytes=refill_bytes,
+        memory_cycles=memory_cycles,
+        total_cycles=total,
+    )
+
+
 def model_latency_cycles(timings: list[LayerTiming], config: AcceleratorConfig) -> float:
     """Total model latency in cycles, including the per-inference overhead."""
     return config.inference_overhead_cycles + sum(timing.total_cycles for timing in timings)
+
+
+def model_latency_cycles_table(
+    timing: TimingTable, model_offsets: np.ndarray, config: AcceleratorConfig
+) -> np.ndarray:
+    """Per-model latency in cycles via a segment reduction over the layer axis."""
+    return config.inference_overhead_cycles + np.add.reduceat(
+        timing.total_cycles, model_offsets[:-1]
+    )
 
 
 def cycles_to_milliseconds(cycles: float, config: AcceleratorConfig) -> float:

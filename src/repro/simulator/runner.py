@@ -156,6 +156,8 @@ def evaluate_dataset(
     configs: Iterable[AcceleratorConfig] | None = None,
     enable_parameter_caching: bool = True,
     progress_callback: Callable[[str, int, int], None] | None = None,
+    strategy: str = "vectorized",
+    n_jobs: int = 1,
 ) -> MeasurementSet:
     """Simulate every model of *dataset* on every configuration.
 
@@ -169,8 +171,32 @@ def evaluate_dataset(
     enable_parameter_caching:
         Forwarded to the simulator; the paper's results have it enabled.
     progress_callback:
-        Optional ``callback(config_name, done, total)`` hook for long sweeps.
+        Optional ``callback(config_name, done, total)`` hook for long sweeps
+        (the vectorized engine reports once per completed configuration).
+    strategy:
+        ``"vectorized"`` (default) dispatches to the structure-of-arrays
+        :class:`~repro.simulator.batch.BatchSimulator`; ``"scalar"`` walks the
+        population one model at a time through the
+        :class:`PerformanceSimulator` (escape hatch, used by the equivalence
+        tests and throughput benchmarks).
+    n_jobs:
+        Number of worker processes sharding the vectorized sweep over model
+        ranges (ignored by the scalar strategy).
     """
+    if strategy == "vectorized":
+        from .batch import BatchSimulator  # deferred: batch imports MeasurementSet
+
+        return BatchSimulator(enable_parameter_caching=enable_parameter_caching).evaluate(
+            dataset,
+            configs=configs,
+            n_jobs=n_jobs,
+            progress_callback=progress_callback,
+        )
+    if strategy != "scalar":
+        raise SimulationError(
+            f"unknown sweep strategy {strategy!r}; expected 'vectorized' or 'scalar'"
+        )
+
     config_list: Sequence[AcceleratorConfig] = (
         list(configs) if configs is not None else list(STUDIED_CONFIGS.values())
     )
@@ -181,14 +207,18 @@ def evaluate_dataset(
     energies: dict[str, np.ndarray] = {}
     total = len(dataset)
 
+    # Networks are built once and shared across configurations (they do not
+    # depend on the accelerator), instead of once per configuration.
+    networks = [record.build_network(dataset.network_config) for record in dataset]
+
     for config in config_list:
         simulator = PerformanceSimulator(
             config, enable_parameter_caching=enable_parameter_caching
         )
         latency_array = np.empty(total, dtype=float)
         energy_array = np.full(total, np.nan, dtype=float)
-        for index, record in enumerate(dataset):
-            result = simulator.simulate(record.build_network(dataset.network_config))
+        for index, network in enumerate(networks):
+            result = simulator.simulate(network)
             latency_array[index] = result.latency_ms
             if result.energy_mj is not None:
                 energy_array[index] = result.energy_mj

@@ -1,0 +1,223 @@
+"""Equivalence tests: vectorized batch engine vs the scalar simulator.
+
+The batch engine must reproduce the scalar :class:`PerformanceSimulator`
+results within 1e-9 relative tolerance (in practice the only difference is
+the float reduction order of per-layer sums) across all three studied
+configurations, with and without parameter caching, including the model
+input/output DRAM extras charged to the first and last layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import STUDIED_CONFIGS
+from repro.compiler import compile_layer_table, compile_model, plan_parameter_cache
+from repro.errors import CompilationError, SimulationError
+from repro.nasbench import (
+    LayerSpec,
+    LayerTable,
+    NASBenchDataset,
+    build_network,
+    random_cell,
+)
+from repro.simulator import BatchSimulator, PerformanceSimulator, evaluate_dataset
+
+RTOL = 1e-9
+CONFIG_NAMES = ("V1", "V2", "V3")
+
+
+@pytest.fixture(scope="module")
+def population():
+    """A 200-model random population (fresh seed, distinct from conftest's)."""
+    return NASBenchDataset.generate(num_models=200, seed=20220902)
+
+
+def scalar_sweep(dataset, enable_caching):
+    return evaluate_dataset(
+        dataset, enable_parameter_caching=enable_caching, strategy="scalar"
+    )
+
+
+class TestLayerTable:
+    def test_matches_layer_spec_properties(self, population):
+        network = population[0].build_network(population.network_config)
+        table = network.to_layer_table()
+        assert table.num_models == 1
+        assert table.num_layers == len(network.layers)
+        for row, layer in enumerate(network.layers):
+            assert table.output_height[row] == layer.output_height
+            assert table.output_width[row] == layer.output_width
+            assert table.macs[row] == layer.macs
+            assert table.weight_bytes[row] == layer.weight_bytes
+            assert table.input_activation_bytes[row] == layer.input_activation_bytes
+            assert table.output_activation_bytes[row] == layer.output_activation_bytes
+            assert table.is_mac[row] == (layer.kind in ("conv", "projection", "dense"))
+
+    def test_unsupported_kind_rejected(self):
+        spec = LayerSpec(
+            name="bad/avgpool",
+            kind="avgpool",
+            input_height=8,
+            input_width=8,
+            in_channels=16,
+            out_channels=16,
+        )
+        with pytest.raises(CompilationError, match="avgpool"):
+            LayerTable.from_specs((spec,))
+
+    def test_non_positive_channels_rejected(self):
+        spec = LayerSpec(
+            name="bad/conv",
+            kind="conv",
+            input_height=8,
+            input_width=8,
+            in_channels=0,
+            out_channels=16,
+        )
+        with pytest.raises(CompilationError, match="non-positive channel counts"):
+            LayerTable.from_specs((spec,))
+
+    def test_from_networks_segments(self, population):
+        networks = [
+            record.build_network(population.network_config)
+            for record in population.records[:5]
+        ]
+        table = LayerTable.from_networks(networks)
+        assert table.num_models == 5
+        assert list(np.diff(table.model_offsets)) == [len(n.layers) for n in networks]
+        # Segment reductions line up with per-network totals.
+        np.testing.assert_array_equal(
+            table.segment_sum(table.macs), [n.total_macs for n in networks]
+        )
+        np.testing.assert_array_equal(
+            table.segment_sum(table.weight_bytes),
+            [n.total_weight_bytes for n in networks],
+        )
+
+
+class TestCompiledTableEquivalence:
+    @pytest.mark.parametrize("enable_caching", [True, False])
+    @pytest.mark.parametrize("config_name", CONFIG_NAMES)
+    def test_cache_plan_matches_scalar(self, population, config_name, enable_caching):
+        config = STUDIED_CONFIGS[config_name]
+        networks = [
+            record.build_network(population.network_config)
+            for record in population.records[:25]
+        ]
+        table = LayerTable.from_networks(networks)
+        compiled = compile_layer_table(
+            table, config, enable_parameter_caching=enable_caching
+        )
+        for index, network in enumerate(networks):
+            plan = plan_parameter_cache(
+                network.layers, config, enable_caching=enable_caching
+            )
+            rows = table.model_slice(index)
+            assert compiled.cache.capacity_bytes[index] == plan.capacity_bytes
+            assert (
+                compiled.cache.effective_capacity_bytes[index]
+                == plan.effective_capacity_bytes
+            )
+            assert compiled.cache.total_weight_bytes[index] == plan.total_weight_bytes
+            assert compiled.cache.cached_bytes[index] == plan.cached_bytes
+            streamed = compiled.cache.streamed_bytes[rows]
+            for layer, layer_streamed in zip(network.layers, streamed):
+                assert layer_streamed == plan.streamed_bytes_by_layer.get(layer.name, 0)
+
+    @pytest.mark.parametrize("config_name", CONFIG_NAMES)
+    def test_mapping_matches_scalar_compile(self, population, config_name):
+        config = STUDIED_CONFIGS[config_name]
+        network = population[3].build_network(population.network_config)
+        compiled_scalar = compile_model(network, config)
+        compiled_table = compile_layer_table(network.to_layer_table(), config)
+        for row, layer in enumerate(compiled_scalar.layers):
+            assert compiled_table.mapping.row(row) == layer.mapping
+            assert compiled_table.streamed_weight_bytes[row] == layer.streamed_weight_bytes
+            assert compiled_table.cached_weight_bytes[row] == layer.cached_weight_bytes
+
+
+class TestBatchSimulatorEquivalence:
+    @pytest.mark.parametrize("enable_caching", [True, False])
+    def test_population_sweep_matches_scalar(self, population, enable_caching):
+        scalar = scalar_sweep(population, enable_caching)
+        batch = BatchSimulator(enable_parameter_caching=enable_caching).evaluate(
+            population
+        )
+        for name in CONFIG_NAMES:
+            np.testing.assert_allclose(
+                batch.latencies(name), scalar.latencies(name), rtol=RTOL
+            )
+            np.testing.assert_allclose(
+                batch.energies(name), scalar.energies(name), rtol=RTOL, equal_nan=True
+            )
+
+    def test_v3_energy_unavailable(self, population):
+        batch = BatchSimulator().evaluate(population)
+        assert not batch.has_energy("V3")
+        assert batch.has_energy("V1") and batch.has_energy("V2")
+
+    def test_first_and_last_layer_io_extras_are_charged(self, population):
+        """Single-model check that the model I/O DRAM extras are included."""
+        network = population[7].build_network(population.network_config)
+        for name in CONFIG_NAMES:
+            config = STUDIED_CONFIGS[name]
+            scalar = PerformanceSimulator(config).simulate(network)
+            latency, energy = BatchSimulator().evaluate_networks([network], config)
+            assert latency[0] == pytest.approx(scalar.latency_ms, rel=RTOL)
+            if scalar.energy_mj is None:
+                assert np.isnan(energy[0])
+            else:
+                assert energy[0] == pytest.approx(scalar.energy_mj, rel=RTOL)
+
+    def test_n_jobs_sharding_is_exact(self, population):
+        single = BatchSimulator().evaluate(population)
+        sharded = BatchSimulator().evaluate(population, n_jobs=2)
+        for name in CONFIG_NAMES:
+            np.testing.assert_array_equal(sharded.latencies(name), single.latencies(name))
+            np.testing.assert_array_equal(sharded.energies(name), single.energies(name))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_random_cells_property(self, seed):
+        """Property-style: any sampled cell times identically on both paths."""
+        network = build_network(random_cell(np.random.default_rng(seed)))
+        table = network.to_layer_table()
+        for name in CONFIG_NAMES:
+            config = STUDIED_CONFIGS[name]
+            scalar = PerformanceSimulator(config).simulate(network)
+            latency, energy = BatchSimulator().evaluate_table(table, config)
+            assert latency[0] == pytest.approx(scalar.latency_ms, rel=RTOL)
+            if scalar.energy_mj is not None:
+                assert energy[0] == pytest.approx(scalar.energy_mj, rel=RTOL)
+
+
+class TestFacade:
+    def test_default_strategy_matches_scalar(self, population):
+        fast = evaluate_dataset(population)
+        slow = scalar_sweep(population, True)
+        for name in CONFIG_NAMES:
+            np.testing.assert_allclose(
+                fast.latencies(name), slow.latencies(name), rtol=RTOL
+            )
+
+    def test_unknown_strategy_rejected(self, population):
+        with pytest.raises(SimulationError):
+            evaluate_dataset(population, strategy="warp-speed")
+
+    def test_empty_dataset_yields_empty_measurements(self, population):
+        empty = NASBenchDataset((), population.network_config)
+        measurements = evaluate_dataset(empty)
+        assert measurements.config_names == list(CONFIG_NAMES)
+        for name in CONFIG_NAMES:
+            assert measurements.latencies(name).shape == (0,)
+
+    def test_progress_callback_reports_each_config(self, population):
+        seen = []
+        evaluate_dataset(
+            population,
+            progress_callback=lambda name, done, total: seen.append((name, done, total)),
+        )
+        assert seen == [(name, len(population), len(population)) for name in CONFIG_NAMES]
