@@ -1,59 +1,73 @@
 #!/usr/bin/env python3
-"""Train the learned performance model and use it as a simulator replacement.
+"""Train the learned performance model with the experiment pipeline.
 
 This example reproduces the paper's Section 4 / Table 8 workflow at small
-scale:
+scale, driven end to end by :func:`repro.pipeline.run_experiment`:
 
-1. sample a population of NASBench cells and measure their latency on one
-   Edge TPU configuration with the performance simulator (the "ground truth");
+1. sample a population of NASBench cells and label it with the vectorized
+   ``BatchSimulator`` sweep (the "ground truth");
 2. train the graph-neural-network learned performance model on a 60/20/20
-   split of those measurements;
+   split of those measurements (mini-batches are slices of a pack-once
+   ``GraphTable``);
 3. report the Table 8 metrics (average estimation accuracy, Spearman and
    Pearson correlation) on the held-out test set;
 4. compare simulator vs learned-model estimates for the paper's named cells,
    and time both — the learned model answers in well under a millisecond,
    which is the paper's motivation for using it in design-space exploration.
 
+Measurements and trained weights are cached as npz files when a cache
+directory is given (``REPRO_PIPELINE_CACHE`` environment variable), making a
+second run of the same experiment nearly instant.
+
 Run with:  python examples/learned_performance_model.py [num_models] [epochs]
 """
 
+import os
 import sys
 import time
 
-from repro import NASBenchDataset, PerformanceSimulator, get_config, evaluate_dataset
-from repro.core import LearnedPerformanceModel, TrainingSettings
-from repro.nasbench import BEST_ACCURACY_CELL, SECOND_BEST_ACCURACY_CELL, build_network
+from repro import BatchSimulator, get_config
+from repro.core import TrainingSettings
+from repro.nasbench import BEST_ACCURACY_CELL, SECOND_BEST_ACCURACY_CELL
+from repro.pipeline import Experiment, PopulationSpec, run_experiment
 
 
 def main(num_models: int = 800, epochs: int = 30, config_name: str = "V1") -> None:
-    config = get_config(config_name)
-
-    print(f"Simulating {num_models} models on {config_name} to collect training data ...")
-    dataset = NASBenchDataset.generate(num_models=num_models, seed=7)
-    measurements = evaluate_dataset(dataset, configs=[config])
-    cells = [record.cell for record in dataset.records]
-    latencies = measurements.latencies(config_name)
-
-    print(f"Training the graph network ({epochs} epochs, batch 16, Adam 1e-3) ...")
-    model = LearnedPerformanceModel(
-        config_name, TrainingSettings(epochs=epochs, seed=1)
+    experiment = Experiment(
+        name="learned-performance-model-example",
+        population=PopulationSpec(num_models=num_models, seed=7),
+        config_names=(config_name,),
+        metrics=("latency",),
+        settings=TrainingSettings(epochs=epochs, seed=1),
     )
-    history = model.fit(cells, latencies)
-    print(f"  final training loss: {history.train_losses[-1]:.4f}")
+    cache_dir = os.environ.get("REPRO_PIPELINE_CACHE") or None
 
-    report = model.evaluate("test")
+    print(
+        f"Running experiment {experiment.name!r} "
+        f"({num_models} models on {config_name}, {epochs} epochs) ..."
+    )
+    result = run_experiment(experiment, cache_dir=cache_dir, progress=lambda m: print(f"  {m}"))
+    model = result.model(config_name, "latency")
+    assert model.history is not None
+    print(f"  final training loss: {model.history.train_losses[-1]:.4f}")
+    if cache_dir:
+        stats = result.cache_stats
+        print(f"  cache: {stats.hits} hits, {stats.misses} misses ({cache_dir})")
+
+    report = result.report(config_name, "latency")
     print("\n--- Table 8 metrics (held-out test set) ---")
     for key, value in report.as_row().items():
         print(f"  {key:>22}: {value}")
 
     print("\n--- simulator vs learned model on the paper's named cells ---")
-    simulator = PerformanceSimulator(config)
+    config = get_config(config_name)
+    simulator = BatchSimulator()
     for name, cell in [
         ("Figure 7 best-accuracy cell", BEST_ACCURACY_CELL),
         ("Figure 8 second-best cell", SECOND_BEST_ACCURACY_CELL),
     ]:
         start = time.perf_counter()
-        simulated = simulator.simulate(build_network(cell)).latency_ms
+        simulated = float(simulator.evaluate_cells([cell], config)[0][0])
         simulator_time = time.perf_counter() - start
         start = time.perf_counter()
         predicted = model.predict_cell(cell)

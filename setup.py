@@ -1,8 +1,8 @@
 """Setuptools configuration.
 
-The project keeps its metadata here (no pyproject.toml yet); the only hard
-runtime dependency is NumPy, which the compiler/simulator array kernels and
-the analysis modules require.
+The project keeps its metadata here (no pyproject.toml yet); the hard
+runtime dependencies are NumPy (compiler/simulator array kernels, analysis)
+and SciPy (the Table 8 correlation metrics in ``repro.core.metrics``).
 """
 
 from setuptools import find_packages, setup
@@ -17,7 +17,7 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
-    install_requires=["numpy>=1.22"],
+    install_requires=["numpy>=1.22", "scipy>=1.8"],
     extras_require={
         "test": ["pytest", "hypothesis"],
         "bench": ["pytest", "pytest-benchmark"],

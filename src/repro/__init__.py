@@ -7,6 +7,7 @@ The package is organized as:
 * :mod:`repro.compiler` — the ahead-of-time mapper with parameter caching;
 * :mod:`repro.simulator` — the latency/energy performance model;
 * :mod:`repro.core` — the graph-neural-network learned performance model;
+* :mod:`repro.pipeline` — experiment orchestration (train/evaluate grids with caching);
 * :mod:`repro.analysis` — the characterization study (tables and figures).
 
 The most common entry points are re-exported here.
@@ -20,13 +21,14 @@ from .arch import (
     AcceleratorConfig,
     get_config,
 )
-from .core import LearnedPerformanceModel, TrainingSettings
+from .core import GraphTable, LearnedPerformanceModel, TrainingSettings
 from .errors import (
     CompilationError,
     DatasetError,
     InvalidCellError,
     InvalidConfigError,
     ModelError,
+    PipelineError,
     ReproError,
     SimulationError,
 )
@@ -38,6 +40,12 @@ from .nasbench import (
     build_network,
     cell_fingerprint,
     sample_unique_cells,
+)
+from .pipeline import (
+    Experiment,
+    ExperimentResult,
+    PopulationSpec,
+    run_experiment,
 )
 from .simulator import (
     BatchSimulator,
@@ -57,6 +65,9 @@ __all__ = [
     "EDGE_TPU_V1",
     "EDGE_TPU_V2",
     "EDGE_TPU_V3",
+    "Experiment",
+    "ExperimentResult",
+    "GraphTable",
     "InvalidCellError",
     "InvalidConfigError",
     "LayerTable",
@@ -66,6 +77,8 @@ __all__ = [
     "NASBenchDataset",
     "NetworkConfig",
     "PerformanceSimulator",
+    "PipelineError",
+    "PopulationSpec",
     "ReproError",
     "STUDIED_CONFIGS",
     "SimulationError",
@@ -74,6 +87,7 @@ __all__ = [
     "cell_fingerprint",
     "evaluate_dataset",
     "get_config",
+    "run_experiment",
     "sample_unique_cells",
     "__version__",
 ]

@@ -4,6 +4,12 @@ Figure 5 is the accuracy-vs-latency scatter of the whole (filtered)
 population per accelerator class; Figures 7/8 look at the two most accurate
 cells individually; Figure 9 ranks the top-five most accurate models and
 reports which accelerator class serves each with the lowest latency.
+
+The entry points are array-first: :func:`accuracy_latency_arrays` and
+:func:`pareto_front_mask` operate directly on the aligned arrays of a
+:class:`~repro.simulator.runner.MeasurementSet` (the shape the experiment
+pipeline produces), and the point-list functions the figure benchmarks
+consume are thin wrappers that materialize those arrays into dataclasses.
 """
 
 from __future__ import annotations
@@ -26,18 +32,61 @@ class AccuracyLatencyPoint:
     model_index: int
 
 
+def accuracy_latency_arrays(
+    measurements: MeasurementSet,
+    config_name: str,
+    min_accuracy: float = 0.70,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Aligned ``(latencies, accuracies, model_indices)`` arrays of Figure 5.
+
+    Applies the paper's accuracy filter and returns plain arrays, so
+    pipeline/measurement output feeds the analysis without per-model loops.
+    """
+    mask = measurements.accuracy_mask(min_accuracy)
+    indices = np.nonzero(mask)[0]
+    return (
+        measurements.latencies(config_name)[indices],
+        measurements.dataset.accuracies()[indices],
+        indices,
+    )
+
+
+def pareto_front_mask(latencies: np.ndarray, accuracies: np.ndarray) -> np.ndarray:
+    """Boolean mask of the non-dominated (latency ↓, accuracy ↑) points.
+
+    Vectorized: points are ranked by latency (stable, so ties keep input
+    order) and a point survives iff its accuracy strictly exceeds the running
+    maximum of every cheaper point — the same rule the scalar frontier walk
+    applied.
+    """
+    latencies = np.asarray(latencies, dtype=float)
+    accuracies = np.asarray(accuracies, dtype=float)
+    if latencies.shape != accuracies.shape or latencies.ndim != 1:
+        raise DatasetError("latencies and accuracies must be 1-D arrays of equal length")
+    if latencies.size == 0:
+        return np.zeros(0, dtype=bool)
+    order = np.argsort(latencies, kind="stable")
+    ordered_accuracy = accuracies[order]
+    best_before = np.concatenate(
+        [[-np.inf], np.maximum.accumulate(ordered_accuracy)[:-1]]
+    )
+    mask = np.zeros(latencies.size, dtype=bool)
+    mask[order[ordered_accuracy > best_before]] = True
+    return mask
+
+
 def accuracy_latency_scatter(
     measurements: MeasurementSet,
     config_name: str,
     min_accuracy: float = 0.70,
 ) -> list[AccuracyLatencyPoint]:
     """Figure 5 series for one configuration (models above the accuracy filter)."""
-    mask = measurements.accuracy_mask(min_accuracy)
-    accuracies = measurements.dataset.accuracies()
-    latencies = measurements.latencies(config_name)
+    latencies, accuracies, indices = accuracy_latency_arrays(
+        measurements, config_name, min_accuracy
+    )
     return [
-        AccuracyLatencyPoint(float(latencies[i]), float(accuracies[i]), int(i))
-        for i in np.nonzero(mask)[0]
+        AccuracyLatencyPoint(float(latency), float(accuracy), int(index))
+        for latency, accuracy, index in zip(latencies, accuracies, indices)
     ]
 
 
@@ -95,12 +144,19 @@ def latency_accuracy_frontier(
     measurements: MeasurementSet, config_name: str, min_accuracy: float = 0.70
 ) -> list[AccuracyLatencyPoint]:
     """Pareto frontier (non-dominated points) of the Figure 5 scatter."""
-    points = accuracy_latency_scatter(measurements, config_name, min_accuracy)
-    ordered = sorted(points, key=lambda point: point.latency_ms)
-    frontier: list[AccuracyLatencyPoint] = []
-    best_accuracy = -np.inf
-    for point in ordered:
-        if point.accuracy > best_accuracy:
-            frontier.append(point)
-            best_accuracy = point.accuracy
-    return frontier
+    latencies, accuracies, indices = accuracy_latency_arrays(
+        measurements, config_name, min_accuracy
+    )
+    mask = pareto_front_mask(latencies, accuracies)
+    front_latencies = latencies[mask]
+    front_accuracies = accuracies[mask]
+    front_indices = indices[mask]
+    order = np.argsort(front_latencies, kind="stable")
+    return [
+        AccuracyLatencyPoint(
+            float(front_latencies[position]),
+            float(front_accuracies[position]),
+            int(front_indices[position]),
+        )
+        for position in order
+    ]

@@ -11,6 +11,12 @@ The original methodology looks the swapped cell up in the NASBench dataset
 owns the performance simulator, the swapped cell is simulated directly, which
 evaluates every swap instead of a subset.  Swaps that do not change the cell
 (the operation does not occur) are skipped, as in the paper.
+
+By default every baseline and swapped network of the population is flattened
+into **one** vectorized :class:`~repro.simulator.batch.BatchSimulator` sweep
+(up to seven networks per model) instead of thousands of scalar
+``simulate()`` calls; ``strategy="scalar"`` keeps the original per-model walk
+as the reference path.
 """
 
 from __future__ import annotations
@@ -21,10 +27,12 @@ from typing import Sequence
 import numpy as np
 
 from ..arch.config import AcceleratorConfig
+from ..errors import SimulationError
 from ..nasbench.cell import Cell
 from ..nasbench.dataset import ModelRecord
 from ..nasbench.network import NetworkConfig, build_network
 from ..nasbench.ops import CONV1X1, CONV3X3, INTERIOR_OPS, MAXPOOL3X3
+from ..simulator.batch import BatchSimulator
 from ..simulator.engine import PerformanceSimulator
 
 #: Display order of the Figure 15 rows/columns.
@@ -84,6 +92,7 @@ def operation_swap_matrix(
     network_config: NetworkConfig | None = None,
     max_models: int | None = None,
     seed: int = 0,
+    strategy: str = "vectorized",
 ) -> SwapMatrix:
     """Compute the Figure 15 matrix for one configuration.
 
@@ -96,11 +105,22 @@ def operation_swap_matrix(
     max_models:
         Optional cap on how many models are swapped (a deterministic random
         subset is used); the full population is used when ``None``.
+    strategy:
+        ``"vectorized"`` (default) sweeps every baseline and swapped network
+        in one :class:`BatchSimulator` pass; ``"scalar"`` walks them one
+        ``simulate()`` call at a time (reference path for equivalence tests).
     """
     if max_models is not None and len(records) > max_models:
         rng = np.random.default_rng(seed)
         chosen = rng.choice(len(records), size=max_models, replace=False)
         records = [records[int(i)] for i in chosen]
+
+    if strategy == "vectorized":
+        return _swap_matrix_vectorized(records, config, network_config)
+    if strategy != "scalar":
+        raise SimulationError(
+            f"unknown swap strategy {strategy!r}; expected 'vectorized' or 'scalar'"
+        )
 
     simulator = PerformanceSimulator(config)
     baseline_cache: dict[int, float] = {}
@@ -143,4 +163,55 @@ def operation_swap_matrix(
             )
         else:
             impacts[key] = SwapImpact(key[0], key[1], 0, 0.0, 0.0)
+    return SwapMatrix(config_name=config.name, impacts=impacts)
+
+
+def _swap_matrix_vectorized(
+    records: Sequence[ModelRecord],
+    config: AcceleratorConfig,
+    network_config: NetworkConfig | None,
+) -> SwapMatrix:
+    """One-sweep Figure 15: all baselines and swaps in a single LayerTable.
+
+    Each model contributes its baseline network plus one network per
+    applicable swap; the whole collection is flattened once and swept by the
+    batch engine, and the per-pair deltas are computed as array arithmetic
+    over index vectors into the resulting latency array.
+    """
+    pairs = [(a, b) for a in SWAP_OPERATIONS for b in SWAP_OPERATIONS if a != b]
+    networks = []
+    pair_indices: dict[tuple[str, str], list[tuple[int, int]]] = {
+        pair: [] for pair in pairs
+    }
+    for record in records:
+        baseline_index = len(networks)
+        networks.append(build_network(record.cell, network_config))
+        for pair in pairs:
+            swapped = swap_operations(record.cell, *pair)
+            if swapped is None:
+                continue
+            pair_indices[pair].append((baseline_index, len(networks)))
+            networks.append(build_network(swapped, network_config))
+
+    latencies = None
+    if networks:
+        latencies, _ = BatchSimulator().evaluate_networks(networks, config)
+
+    impacts = {}
+    for pair in pairs:
+        if not pair_indices[pair]:
+            impacts[pair] = SwapImpact(pair[0], pair[1], 0, 0.0, 0.0)
+            continue
+        index_pairs = np.asarray(pair_indices[pair], dtype=np.int64)
+        baselines = latencies[index_pairs[:, 0]]
+        swapped_latencies = latencies[index_pairs[:, 1]]
+        deltas = swapped_latencies - baselines
+        percents = 100.0 * deltas / baselines
+        impacts[pair] = SwapImpact(
+            from_op=pair[0],
+            to_op=pair[1],
+            num_swaps=len(index_pairs),
+            avg_change_ms=float(deltas.mean()),
+            avg_change_percent=float(percents.mean()),
+        )
     return SwapMatrix(config_name=config.name, impacts=impacts)

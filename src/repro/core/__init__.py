@@ -1,8 +1,9 @@
 """Learned performance model: numpy autodiff, graph network, training, metrics."""
 
 from .autodiff import Tensor, mse_loss
-from .features import GraphTuple, cell_to_graph
+from .features import GraphTuple, cell_to_graph, featurize_cells
 from .graph_net import BatchedGraphs, GraphNetBlock, IndependentBlock, batch_graphs
+from .graph_table import GraphTable, as_graph_table
 from .layers import MLP, LayerNorm, Linear, Module
 from .metrics import (
     EstimationReport,
@@ -13,11 +14,17 @@ from .metrics import (
 )
 from .model import EncodeProcessDecode
 from .optimizer import Adam
-from .predictor import LearnedPerformanceModel, TrainingSettings
+from .predictor import (
+    SUPPORTED_METRICS,
+    LearnedPerformanceModel,
+    TrainingSettings,
+    metric_targets,
+)
 from .trainer import (
     DatasetSplit,
     TargetNormalizer,
     TrainingHistory,
+    batched_loss,
     evaluate_loss,
     split_dataset,
     train_model,
@@ -30,6 +37,7 @@ __all__ = [
     "EncodeProcessDecode",
     "EstimationReport",
     "GraphNetBlock",
+    "GraphTable",
     "GraphTuple",
     "IndependentBlock",
     "LayerNorm",
@@ -37,15 +45,20 @@ __all__ = [
     "Linear",
     "MLP",
     "Module",
+    "SUPPORTED_METRICS",
     "TargetNormalizer",
     "Tensor",
     "TrainingHistory",
     "TrainingSettings",
+    "as_graph_table",
     "batch_graphs",
+    "batched_loss",
     "cell_to_graph",
     "estimation_accuracy",
     "evaluate_loss",
     "evaluate_predictions",
+    "featurize_cells",
+    "metric_targets",
     "mse_loss",
     "pearson_correlation",
     "spearman_correlation",

@@ -11,11 +11,12 @@ the same cell, the cell graph alone is the model input (Section 5).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from ..nasbench.cell import Cell
-from ..nasbench.ops import node_feature
+from ..nasbench.ops import node_features
 
 #: Feature value assigned to every edge.
 EDGE_FEATURE = 1.0
@@ -59,7 +60,7 @@ class GraphTuple:
 def cell_to_graph(cell: Cell) -> GraphTuple:
     """Encode a (pruned) cell as a :class:`GraphTuple` following Figure 4."""
     pruned = cell.prune()
-    nodes = np.array([[node_feature(op)] for op in pruned.ops], dtype=np.float64)
+    nodes = np.array(node_features(pruned.ops), dtype=np.float64).reshape(-1, 1)
     edge_list = pruned.edges()
     if edge_list:
         senders = np.array([src for src, _ in edge_list], dtype=np.int64)
@@ -72,3 +73,8 @@ def cell_to_graph(cell: Cell) -> GraphTuple:
     return GraphTuple(
         nodes=nodes, edges=edges, senders=senders, receivers=receivers, globals_=globals_
     )
+
+
+def featurize_cells(cells: Sequence[Cell]) -> list[GraphTuple]:
+    """Encode a population of cells (the input to :class:`GraphTable` packing)."""
+    return [cell_to_graph(cell) for cell in cells]

@@ -62,32 +62,17 @@ class BatchedGraphs:
 
 
 def batch_graphs(graphs: Sequence[GraphTuple]) -> BatchedGraphs:
-    """Pack a list of :class:`GraphTuple` into one :class:`BatchedGraphs`."""
+    """Pack a list of :class:`GraphTuple` into one :class:`BatchedGraphs`.
+
+    Thin wrapper over the structure-of-arrays packing kernel of
+    :class:`~repro.core.graph_table.GraphTable`, so the per-list and packed
+    paths cannot drift apart.
+    """
+    from .graph_table import GraphTable  # deferred: graph_table imports us
+
     if not graphs:
         raise ModelError("cannot batch an empty list of graphs")
-    nodes = np.concatenate([graph.nodes for graph in graphs], axis=0)
-    edges = np.concatenate([graph.edges for graph in graphs], axis=0)
-    globals_ = np.concatenate([graph.globals_ for graph in graphs], axis=0)
-
-    senders_parts, receivers_parts, node_ids, edge_ids = [], [], [], []
-    node_offset = 0
-    for index, graph in enumerate(graphs):
-        senders_parts.append(graph.senders + node_offset)
-        receivers_parts.append(graph.receivers + node_offset)
-        node_ids.append(np.full(graph.num_nodes, index, dtype=np.int64))
-        edge_ids.append(np.full(graph.num_edges, index, dtype=np.int64))
-        node_offset += graph.num_nodes
-
-    return BatchedGraphs(
-        nodes=Tensor(nodes),
-        edges=Tensor(edges),
-        globals_=Tensor(globals_),
-        senders=np.concatenate(senders_parts),
-        receivers=np.concatenate(receivers_parts),
-        node_graph_ids=np.concatenate(node_ids),
-        edge_graph_ids=np.concatenate(edge_ids),
-        num_graphs=len(graphs),
-    )
+    return GraphTable.from_graphs(graphs).to_batched()
 
 
 class IndependentBlock(Module):

@@ -13,6 +13,7 @@ from typing import Iterator
 
 import numpy as np
 
+from ..errors import ModelError
 from .autodiff import Tensor, add, layer_norm, matmul, relu
 
 
@@ -49,6 +50,32 @@ class Module:
     def num_parameters(self) -> int:
         """Total number of scalar trainable parameters."""
         return sum(parameter.data.size for parameter in self.parameters())
+
+    def export_arrays(self) -> list[np.ndarray]:
+        """Copies of every parameter array, in :meth:`parameters` order.
+
+        The traversal order is deterministic (insertion order of the module
+        attributes), which makes the flat list a sufficient serialization
+        format for the pipeline's weight cache.
+        """
+        return [parameter.data.copy() for parameter in self.parameters()]
+
+    def load_arrays(self, arrays: list[np.ndarray]) -> None:
+        """Restore parameters previously produced by :meth:`export_arrays`."""
+        parameters = list(self.parameters())
+        if len(parameters) != len(arrays):
+            raise ModelError(
+                f"cannot load {len(arrays)} arrays into a module with "
+                f"{len(parameters)} parameters"
+            )
+        for parameter, array in zip(parameters, arrays):
+            array = np.asarray(array, dtype=np.float64)
+            if parameter.data.shape != array.shape:
+                raise ModelError(
+                    f"shape mismatch while loading weights: expected "
+                    f"{parameter.data.shape}, got {array.shape}"
+                )
+            parameter.data[...] = array
 
     def zero_grad(self) -> None:
         """Clear the gradients of every parameter."""

@@ -8,18 +8,28 @@ estimation accuracy, Spearman and Pearson correlation with ground truth).
 Once trained, predictions take well under a millisecond per cell — the paper's
 motivation for replacing cycle-accurate simulation in design-space
 exploration.
+
+The training population is packed **once** into a
+:class:`~repro.core.graph_table.GraphTable`; every epoch's mini-batches are
+slices of that table and whole-split inference is a single batched forward
+pass.  Ground-truth labels come from the vectorized
+:class:`~repro.simulator.batch.BatchSimulator` sweep (:meth:`fit_dataset`)
+rather than per-cell scalar simulation, and a fitted model round-trips
+through :meth:`export_state` / :meth:`restore_state` so the experiment
+pipeline can cache trained weights on disk.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from ..errors import ModelError
 from ..nasbench.cell import Cell
-from .features import GraphTuple, cell_to_graph
+from .graph_table import GraphTable
 from .metrics import EstimationReport, evaluate_predictions
 from .model import (
     DEFAULT_HIDDEN_SIZE,
@@ -36,6 +46,13 @@ from .trainer import (
     split_dataset,
     train_model,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..nasbench.dataset import NASBenchDataset
+    from ..simulator.runner import MeasurementSet
+
+#: Metrics a learned model can be trained on (one model per config × metric).
+SUPPORTED_METRICS = ("latency", "energy")
 
 
 @dataclass(frozen=True)
@@ -55,8 +72,47 @@ class TrainingSettings:
     seed: int = 0
 
 
+def metric_targets(
+    measurements: "MeasurementSet", config_name: str, metric: str
+) -> np.ndarray:
+    """Ground-truth array of one (configuration, metric) pair.
+
+    Raises :class:`ModelError` for unknown metrics or when the configuration
+    has no published energy model (V3's energies are all NaN).
+    """
+    if metric == "latency":
+        return measurements.latencies(config_name)
+    if metric == "energy":
+        energies = measurements.energies(config_name)
+        if not np.isfinite(energies).all():
+            raise ModelError(
+                f"configuration {config_name!r} has no energy model; cannot "
+                "train a learned energy estimator for it"
+            )
+        return energies
+    raise ModelError(
+        f"unknown metric {metric!r}; expected one of {SUPPORTED_METRICS}"
+    )
+
+
+def _table_digest(table: GraphTable) -> str:
+    """Content digest of a packed population (cache-restore identity check)."""
+    digest = hashlib.sha256()
+    for array in (
+        table.nodes, table.edges, table.globals_,
+        table.senders, table.receivers,
+        table.node_offsets, table.edge_offsets,
+    ):
+        digest.update(str(array.shape).encode())
+        digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.hexdigest()
+
+
 class LearnedPerformanceModel:
     """Per-configuration GNN estimator of an accelerator performance metric."""
+
+    #: Smallest population the 60/20/20 split leaves usable test data for.
+    MIN_FIT_SAMPLES = 10
 
     def __init__(self, config_name: str, settings: TrainingSettings | None = None):
         self.config_name = config_name
@@ -71,7 +127,7 @@ class LearnedPerformanceModel:
         )
         self.history: TrainingHistory | None = None
         self.split: DatasetSplit | None = None
-        self._graphs: list[GraphTuple] = []
+        self._table: GraphTable | None = None
         self._targets: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
@@ -80,34 +136,45 @@ class LearnedPerformanceModel:
     def fit(self, cells: Sequence[Cell], targets: Sequence[float]) -> TrainingHistory:
         """Train the model on (cell, measurement) pairs.
 
+        The cells are featurized and packed once; see :meth:`fit_table` for
+        the packed entry point the pipeline uses directly.
+        """
+        if len(cells) != len(targets):
+            raise ModelError("cells and targets must have the same length")
+        return self.fit_table(GraphTable.from_cells(cells), targets)
+
+    def fit_table(
+        self, table: GraphTable, targets: Sequence[float]
+    ) -> TrainingHistory:
+        """Train on an already-packed :class:`GraphTable` plus raw targets.
+
         The split into train/validation/test follows the paper (60/20/20); the
         held-out test indices are kept so :meth:`evaluate` reports honest
         generalization metrics.
         """
-        if len(cells) != len(targets):
-            raise ModelError("cells and targets must have the same length")
-        if len(cells) < 10:
-            raise ModelError("need at least 10 samples to fit the learned model")
-
-        self._graphs = [cell_to_graph(cell) for cell in cells]
+        if table.num_graphs != len(targets):
+            raise ModelError("graph table and targets must have the same length")
+        if table.num_graphs < self.MIN_FIT_SAMPLES:
+            raise ModelError(
+                f"need at least {self.MIN_FIT_SAMPLES} samples to fit the learned model"
+            )
+        self._table = table
         self._targets = np.asarray(targets, dtype=float)
         self.normalizer.fit(self._targets)
         normalized = self.normalizer.transform(self._targets)
 
         self.split = split_dataset(
-            len(cells),
+            table.num_graphs,
             train_fraction=self.settings.train_fraction,
             validation_fraction=self.settings.validation_fraction,
             seed=self.settings.seed,
         )
-        train_graphs = [self._graphs[i] for i in self.split.train]
-        validation_graphs = [self._graphs[i] for i in self.split.validation]
         self.history = train_model(
             self.model,
-            train_graphs,
+            table.subset(self.split.train),
             normalized[self.split.train],
-            validation_graphs,
-            normalized[self.split.validation],
+            table.subset(self.split.validation) if len(self.split.validation) else (),
+            normalized[self.split.validation] if len(self.split.validation) else None,
             epochs=self.settings.epochs,
             batch_size=self.settings.batch_size,
             learning_rate=self.settings.learning_rate,
@@ -115,14 +182,46 @@ class LearnedPerformanceModel:
         )
         return self.history
 
+    def fit_dataset(
+        self,
+        dataset: "NASBenchDataset",
+        metric: str = "latency",
+        measurements: "MeasurementSet | None" = None,
+        enable_parameter_caching: bool = True,
+    ) -> TrainingHistory:
+        """Label *dataset* with the vectorized sweep and train on the result.
+
+        Ground truth comes from :meth:`BatchSimulator.evaluate` (the paper's
+        simulator-in-the-loop labeling, but population-wide instead of
+        per-cell); pass *measurements* to reuse an existing sweep.
+        """
+        if measurements is None:
+            from ..arch.config import get_config
+            from ..simulator.batch import BatchSimulator  # deferred: import cycle
+
+            simulator = BatchSimulator(
+                enable_parameter_caching=enable_parameter_caching
+            )
+            measurements = simulator.evaluate(
+                dataset, configs=[get_config(self.config_name)]
+            )
+        targets = metric_targets(measurements, self.config_name, metric)
+        cells = [record.cell for record in dataset]
+        return self.fit(cells, targets)
+
     # ------------------------------------------------------------------ #
     # Inference
     # ------------------------------------------------------------------ #
     def predict_cells(self, cells: Sequence[Cell]) -> np.ndarray:
-        """Predict the performance metric for a list of cells (raw units)."""
+        """Predict the performance metric for a list of cells (raw units).
+
+        The query cells are packed once and evaluated in a single forward
+        pass.
+        """
         self._require_fitted()
-        graphs = [cell_to_graph(cell) for cell in cells]
-        normalized = predict_normalized(self.model, graphs)
+        if len(cells) == 0:
+            return np.zeros(0)
+        normalized = predict_normalized(self.model, GraphTable.from_cells(cells))
         return self.normalizer.inverse_transform(normalized)
 
     def predict_cell(self, cell: Cell) -> float:
@@ -135,7 +234,7 @@ class LearnedPerformanceModel:
     def evaluate(self, subset: str = "test") -> EstimationReport:
         """Evaluate on the held-out split (``"test"``, ``"validation"`` or ``"train"``)."""
         self._require_fitted()
-        assert self.split is not None and self._targets is not None
+        assert self.split is not None and self._table is not None and self._targets is not None
         indices = {
             "train": self.split.train,
             "validation": self.split.validation,
@@ -143,14 +242,74 @@ class LearnedPerformanceModel:
         }.get(subset)
         if indices is None:
             raise ModelError(f"unknown subset {subset!r}")
-        graphs = [self._graphs[i] for i in indices]
-        normalized = predict_normalized(self.model, graphs)
+        normalized = predict_normalized(self.model, self._table.subset(indices))
         predictions = self.normalizer.inverse_transform(normalized)
         return evaluate_predictions(
             predictions,
             self._targets[indices],
             training_set_size=len(self.split.train),
         )
+
+    # ------------------------------------------------------------------ #
+    # Serialization (pipeline weight cache)
+    # ------------------------------------------------------------------ #
+    def export_state(self) -> dict[str, np.ndarray]:
+        """Flat array dict capturing everything a cache hit must restore.
+
+        The keys are plain strings and every value is a NumPy array, so the
+        state saves losslessly with :func:`numpy.savez_compressed`.
+        """
+        self._require_fitted()
+        assert self.split is not None and self.history is not None
+        assert self._targets is not None
+        assert self._table is not None
+        mean, std = self.normalizer.stats
+        state: dict[str, np.ndarray] = {
+            "table_digest": np.array(_table_digest(self._table)),
+            "targets": self._targets,
+            "split_train": self.split.train,
+            "split_validation": self.split.validation,
+            "split_test": self.split.test,
+            "train_losses": np.asarray(self.history.train_losses, dtype=float),
+            "validation_losses": np.asarray(self.history.validation_losses, dtype=float),
+            "normalizer": np.array(
+                [mean, std, 1.0 if self.normalizer.log_transform else 0.0]
+            ),
+        }
+        for index, array in enumerate(self.model.export_arrays()):
+            state[f"weight_{index:04d}"] = array
+        return state
+
+    def restore_state(
+        self, table: GraphTable, state: dict[str, np.ndarray]
+    ) -> None:
+        """Restore a previously exported model against its (re-packed) table."""
+        targets = np.asarray(state["targets"], dtype=float)
+        if table.num_graphs != len(targets):
+            raise ModelError(
+                "cached state does not match the graph table "
+                f"({len(targets)} targets for {table.num_graphs} graphs)"
+            )
+        if str(state["table_digest"]) != _table_digest(table):
+            raise ModelError(
+                "cached state was trained on a different population than the "
+                "given graph table (feature digest mismatch)"
+            )
+        weight_keys = sorted(key for key in state if key.startswith("weight_"))
+        self.model.load_arrays([state[key] for key in weight_keys])
+        mean, std, log_flag = np.asarray(state["normalizer"], dtype=float)
+        self.normalizer = TargetNormalizer.from_stats(mean, std, bool(log_flag))
+        self.split = DatasetSplit(
+            train=np.asarray(state["split_train"], dtype=np.int64),
+            validation=np.asarray(state["split_validation"], dtype=np.int64),
+            test=np.asarray(state["split_test"], dtype=np.int64),
+        )
+        self.history = TrainingHistory(
+            train_losses=[float(v) for v in state["train_losses"]],
+            validation_losses=[float(v) for v in state["validation_losses"]],
+        )
+        self._table = table
+        self._targets = targets
 
     def _require_fitted(self) -> None:
         if self.history is None:

@@ -5,21 +5,36 @@ training"): Adam with learning rate 1e-3, batch size 16, a 60/20/20
 train/validation/test split, and a loss that averages the mean-squared
 prediction error over every message-passing iteration so the model converges
 quickly at all depths.
+
+The loop runs on the pack-once :class:`~repro.core.graph_table.GraphTable`
+representation: the dataset's graphs are flattened into shared arrays a single
+time and every mini-batch is an array slice of that table
+(``strategy="packed"``, the default).  The legacy per-list path — rebuilding a
+:class:`~repro.core.graph_net.BatchedGraphs` from a Python list of
+:class:`GraphTuple` on every step — is kept as ``strategy="list"``; it is the
+reference implementation the equivalence tests and the training-throughput
+benchmark compare against, and both paths are bit-for-bit identical given the
+same seed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Sequence, Union
 
 import numpy as np
 
 from ..errors import ModelError
 from .autodiff import Tensor, mse_loss
 from .features import GraphTuple
-from .graph_net import batch_graphs
+from .graph_net import BatchedGraphs, batch_graphs
+from .graph_table import GraphTable, as_graph_table
 from .model import EncodeProcessDecode
 from .optimizer import Adam
+
+#: Inputs accepted by the training/inference entry points: either a packed
+#: table or a legacy sequence of per-graph tuples.
+GraphSource = Union[GraphTable, Sequence[GraphTuple]]
 
 
 @dataclass(frozen=True)
@@ -74,6 +89,23 @@ class TargetNormalizer:
         self._std = 1.0
         self._fitted = False
 
+    @classmethod
+    def from_stats(
+        cls, mean: float, std: float, log_transform: bool = True
+    ) -> "TargetNormalizer":
+        """Rebuild a fitted normalizer from saved statistics (cache restore)."""
+        normalizer = cls(log_transform)
+        normalizer._mean = float(mean)
+        normalizer._std = float(std)
+        normalizer._fitted = True
+        return normalizer
+
+    @property
+    def stats(self) -> tuple[float, float]:
+        """The fitted ``(mean, std)`` pair (for serialization)."""
+        self._require_fitted()
+        return self._mean, self._std
+
     def fit(self, targets: np.ndarray) -> "TargetNormalizer":
         """Fit the normalizer on raw target values."""
         values = self._forward_transform(np.asarray(targets, dtype=float))
@@ -123,11 +155,10 @@ class TrainingHistory:
         return len(self.train_losses)
 
 
-def _batch_loss(
-    model: EncodeProcessDecode, graphs: Sequence[GraphTuple], targets: np.ndarray
+def batched_loss(
+    model: EncodeProcessDecode, batched: BatchedGraphs, targets: np.ndarray
 ) -> Tensor:
-    """Loss of one minibatch: MSE averaged over message-passing steps."""
-    batched = batch_graphs(graphs)
+    """Loss of one batch: MSE averaged over message-passing steps."""
     predictions = model(batched)
     target_tensor = Tensor(np.asarray(targets, dtype=float).reshape(-1, 1))
     loss = mse_loss(predictions[0], target_tensor)
@@ -136,64 +167,95 @@ def _batch_loss(
     return loss * Tensor(1.0 / len(predictions))
 
 
+def _batch_loss(
+    model: EncodeProcessDecode, graphs: Sequence[GraphTuple], targets: np.ndarray
+) -> Tensor:
+    """Legacy per-list loss: re-batch *graphs*, then :func:`batched_loss`."""
+    return batched_loss(model, batch_graphs(graphs), targets)
+
+
 def evaluate_loss(
     model: EncodeProcessDecode,
-    graphs: Sequence[GraphTuple],
+    graphs: GraphSource,
     targets: np.ndarray,
     batch_size: int = 256,
 ) -> float:
     """Average per-step MSE of *model* on a dataset (no gradient updates)."""
+    if not isinstance(graphs, GraphTable) and len(graphs) == 0:
+        return 0.0
+    table = as_graph_table(graphs)
+    targets = np.asarray(targets, dtype=float)
     total, count = 0.0, 0
-    for start in range(0, len(graphs), batch_size):
-        chunk = graphs[start : start + batch_size]
-        chunk_targets = targets[start : start + batch_size]
-        loss = _batch_loss(model, chunk, chunk_targets)
-        total += loss.item() * len(chunk)
-        count += len(chunk)
+    for start in range(0, table.num_graphs, batch_size):
+        indices = np.arange(start, min(start + batch_size, table.num_graphs))
+        loss = batched_loss(model, table.slice_batch(indices), targets[indices])
+        total += loss.item() * len(indices)
+        count += len(indices)
     return total / max(count, 1)
 
 
 def train_model(
     model: EncodeProcessDecode,
-    train_graphs: Sequence[GraphTuple],
+    train_graphs: GraphSource,
     train_targets: np.ndarray,
-    validation_graphs: Sequence[GraphTuple] = (),
+    validation_graphs: GraphSource = (),
     validation_targets: np.ndarray | None = None,
     epochs: int = 10,
     batch_size: int = 16,
     learning_rate: float = 1e-3,
     seed: int = 0,
+    strategy: str = "packed",
 ) -> TrainingHistory:
     """Train *model* with minibatch Adam and return the loss history.
 
     Targets are expected to be already normalized (see
-    :class:`TargetNormalizer`).
+    :class:`TargetNormalizer`).  ``strategy="packed"`` (default) packs the
+    training set into a :class:`GraphTable` once and slices mini-batches out
+    of it; ``strategy="list"`` is the legacy per-step list-batching reference
+    path (requires sequence inputs) and produces bit-for-bit the same result.
     """
-    if len(train_graphs) != len(train_targets):
+    num_train = (
+        train_graphs.num_graphs
+        if isinstance(train_graphs, GraphTable)
+        else len(train_graphs)
+    )
+    if num_train != len(train_targets):
         raise ModelError("training graphs and targets must have the same length")
-    if len(train_graphs) == 0:
+    if num_train == 0:
         raise ModelError("training set is empty")
+    if strategy not in ("packed", "list"):
+        raise ModelError(f"unknown training strategy {strategy!r}")
+    if strategy == "list" and isinstance(train_graphs, GraphTable):
+        raise ModelError("strategy='list' requires a sequence of GraphTuple")
+
+    table = as_graph_table(train_graphs) if strategy == "packed" else None
 
     optimizer = Adam(model.parameters(), learning_rate=learning_rate)
     rng = np.random.default_rng(seed)
     history = TrainingHistory()
     train_targets = np.asarray(train_targets, dtype=float)
+    has_validation = (
+        isinstance(validation_graphs, GraphTable) or len(validation_graphs) > 0
+    ) and validation_targets is not None
 
     for _ in range(epochs):
-        order = rng.permutation(len(train_graphs))
+        order = rng.permutation(num_train)
         epoch_loss, batches = 0.0, 0
         for start in range(0, len(order), batch_size):
             indices = order[start : start + batch_size]
-            graphs = [train_graphs[i] for i in indices]
+            if table is not None:
+                batched = table.slice_batch(indices)
+            else:
+                batched = batch_graphs([train_graphs[i] for i in indices])
             targets = train_targets[indices]
             optimizer.zero_grad()
-            loss = _batch_loss(model, graphs, targets)
+            loss = batched_loss(model, batched, targets)
             loss.backward()
             optimizer.step()
             epoch_loss += loss.item()
             batches += 1
         history.train_losses.append(epoch_loss / max(batches, 1))
-        if len(validation_graphs) and validation_targets is not None:
+        if has_validation:
             history.validation_losses.append(
                 evaluate_loss(model, validation_graphs, np.asarray(validation_targets, dtype=float))
             )
@@ -201,11 +263,21 @@ def train_model(
 
 
 def predict(
-    model: EncodeProcessDecode, graphs: Sequence[GraphTuple], batch_size: int = 256
+    model: EncodeProcessDecode, graphs: GraphSource, batch_size: int | None = None
 ) -> np.ndarray:
-    """Final-step predictions of *model* over *graphs* (normalized space)."""
+    """Final-step predictions of *model* over *graphs* (normalized space).
+
+    With the default ``batch_size=None`` the whole dataset is evaluated in a
+    **single** batched forward pass over the packed table; pass an explicit
+    batch size to chunk very large populations.
+    """
+    if not isinstance(graphs, GraphTable) and len(graphs) == 0:
+        return np.zeros(0)
+    table = as_graph_table(graphs)
+    if batch_size is None:
+        return model.predict(table.to_batched())
     outputs = []
-    for start in range(0, len(graphs), batch_size):
-        chunk = graphs[start : start + batch_size]
-        outputs.append(model.predict(batch_graphs(chunk)))
-    return np.concatenate(outputs) if outputs else np.zeros(0)
+    for start in range(0, table.num_graphs, batch_size):
+        indices = np.arange(start, min(start + batch_size, table.num_graphs))
+        outputs.append(model.predict(table.slice_batch(indices)))
+    return np.concatenate(outputs)

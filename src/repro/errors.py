@@ -43,3 +43,7 @@ class ModelError(ReproError):
 
 class DatasetError(ReproError):
     """Raised when dataset generation or querying fails."""
+
+
+class PipelineError(ReproError):
+    """Raised when an experiment pipeline is misconfigured or a cache is corrupt."""

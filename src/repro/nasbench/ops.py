@@ -82,3 +82,8 @@ def node_feature(op: str) -> float:
         return NODE_FEATURE_ENCODING[op]
     except KeyError as exc:
         raise ValueError(f"unknown operation {op!r}") from exc
+
+
+def node_features(ops: Sequence[str]) -> list[float]:
+    """Node features of an op list, in vertex order (batch featurization)."""
+    return [node_feature(op) for op in ops]

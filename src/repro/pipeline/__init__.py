@@ -1,0 +1,28 @@
+"""Experiment orchestration for the learned performance model.
+
+This subsystem runs the paper's per-configuration × per-metric model grid as
+one declarative :class:`Experiment`, with deterministic seeding and npz disk
+caching of both the simulator labels and the trained weights so repeated
+runs are incremental.  See DESIGN.md §5 for the architecture.
+"""
+
+from .cache import CacheStats, ExperimentCache
+from .experiment import (
+    CACHE_FORMAT_VERSION,
+    Experiment,
+    PopulationSpec,
+    stable_key,
+)
+from .runner import ExperimentResult, GridCellResult, run_experiment
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "CacheStats",
+    "Experiment",
+    "ExperimentCache",
+    "ExperimentResult",
+    "GridCellResult",
+    "PopulationSpec",
+    "run_experiment",
+    "stable_key",
+]

@@ -1,0 +1,173 @@
+"""On-disk npz cache of measurements and trained model weights.
+
+Artifacts are keyed by the stable experiment hashes of
+:mod:`repro.pipeline.experiment`:
+
+* ``measurements-<key>.npz`` — per-configuration latency/energy arrays plus
+  the population's cell fingerprints (verified on load, so a stale or
+  mismatched file degrades to a cache miss instead of silently mislabeling);
+* ``model-<key>.npz`` — the flat state dict exported by
+  :meth:`LearnedPerformanceModel.export_state` (weights, normalizer stats,
+  split indices, loss history, raw targets).
+
+The cache counts hits and misses (:class:`CacheStats`) so experiment results
+can report exactly how incremental a re-run was.
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+import zipfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import PipelineError
+from ..nasbench.dataset import NASBenchDataset
+from ..simulator.runner import MeasurementSet
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one pipeline run."""
+
+    measurement_hits: int = 0
+    measurement_misses: int = 0
+    model_hits: int = 0
+    model_misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Total artifacts served from disk."""
+        return self.measurement_hits + self.model_hits
+
+    @property
+    def misses(self) -> int:
+        """Total artifacts that had to be recomputed."""
+        return self.measurement_misses + self.model_misses
+
+
+@dataclass
+class ExperimentCache:
+    """npz artifact store rooted at a directory (created on first write)."""
+
+    root: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    # ------------------------------------------------------------------ #
+    # Paths
+    # ------------------------------------------------------------------ #
+    def measurement_path(self, key: str) -> Path:
+        """File path of a cached measurement set."""
+        return self.root / f"measurements-{key}.npz"
+
+    def model_path(self, key: str) -> Path:
+        """File path of a cached trained-model state."""
+        return self.root / f"model-{key}.npz"
+
+    # ------------------------------------------------------------------ #
+    # Measurements
+    # ------------------------------------------------------------------ #
+    def load_measurements(
+        self, key: str, dataset: NASBenchDataset
+    ) -> MeasurementSet | None:
+        """Load the measurement set at *key*, verifying the population.
+
+        Returns ``None`` (a miss) when the file is absent or its stored cell
+        fingerprints do not match *dataset* exactly.
+        """
+        path = self.measurement_path(key)
+        stored = self._read(path)
+        if stored is None:
+            self.stats.measurement_misses += 1
+            return None
+        fingerprints = np.array([record.fingerprint for record in dataset])
+        if not np.array_equal(stored.get("fingerprints"), fingerprints):
+            self.stats.measurement_misses += 1
+            return None
+        latencies = {
+            name.removeprefix("latency::"): values
+            for name, values in stored.items()
+            if name.startswith("latency::")
+        }
+        energies = {
+            name.removeprefix("energy::"): values
+            for name, values in stored.items()
+            if name.startswith("energy::")
+        }
+        self.stats.measurement_hits += 1
+        return MeasurementSet(dataset, latencies, energies)
+
+    def save_measurements(self, key: str, measurements: MeasurementSet) -> Path:
+        """Persist a measurement set under *key*."""
+        payload: dict[str, np.ndarray] = {
+            "fingerprints": np.array(
+                [record.fingerprint for record in measurements.dataset]
+            )
+        }
+        for name in measurements.config_names:
+            payload[f"latency::{name}"] = measurements.latencies(name)
+            payload[f"energy::{name}"] = measurements.energies(name)
+        return self._write(self.measurement_path(key), payload)
+
+    # ------------------------------------------------------------------ #
+    # Trained models
+    # ------------------------------------------------------------------ #
+    def load_model_state(self, key: str) -> dict[str, np.ndarray] | None:
+        """Load a trained-model state dict, or ``None`` on a miss."""
+        state = self._read(self.model_path(key))
+        if state is None:
+            self.stats.model_misses += 1
+            return None
+        self.stats.model_hits += 1
+        return state
+
+    def save_model_state(self, key: str, state: dict[str, np.ndarray]) -> Path:
+        """Persist a trained-model state dict under *key*."""
+        return self._write(self.model_path(key), state)
+
+    def reclassify_model_hit_as_miss(self) -> None:
+        """Recount the last model hit as a miss.
+
+        Called when a loaded state proves stale during restore (validation the
+        cache itself cannot perform, e.g. the population feature digest); the
+        bookkeeping stays in one module so the counters cannot drift.
+        """
+        self.stats.model_hits -= 1
+        self.stats.model_misses += 1
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _read(self, path: Path) -> dict[str, np.ndarray] | None:
+        """Load an npz artifact; a missing or corrupt file is ``None`` (miss).
+
+        Corruption can happen when concurrent runs share a cache directory
+        and interleave writes to the same temp path; degrading to a miss
+        re-computes the artifact instead of crashing or mislabeling.
+        """
+        if not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                return {name: archive[name] for name in archive.files}
+        except (OSError, ValueError, zipfile.BadZipFile):
+            return None
+
+    def _write(self, path: Path, payload: dict[str, np.ndarray]) -> Path:
+        self.root.mkdir(parents=True, exist_ok=True)
+        # Unique temp name per writer: concurrent runs sharing a cache_dir
+        # then race only on the atomic replace(), never on the bytes.
+        tmp = path.with_suffix(f".tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}.npz")
+        try:
+            np.savez_compressed(tmp, **payload)
+            tmp.replace(path)
+        except OSError as exc:
+            tmp.unlink(missing_ok=True)
+            raise PipelineError(f"failed to write cache artifact {path}: {exc}") from exc
+        return path

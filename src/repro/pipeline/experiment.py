@@ -1,0 +1,114 @@
+"""Experiment specification for the learned-model pipeline.
+
+The paper's Section 4/5 workflow is a *grid*: one learned performance model
+per accelerator configuration and per metric (latency, energy), all trained
+on simulator measurements of the same sampled population.  An
+:class:`Experiment` captures that grid declaratively — population spec ×
+configuration names × metric names × training hyperparameters — and every
+piece of it is hashable into stable cache keys so re-runs are incremental
+(see :mod:`repro.pipeline.cache`).
+
+Keys are SHA-256 digests of a canonical JSON rendering of the spec fields,
+so any change to the population, the simulated configurations, the caching
+mode or the training hyperparameters produces a different key, while
+irrelevant changes (the experiment *name*, the metric grid for measurement
+keys) do not invalidate cached artifacts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+
+from ..core.predictor import SUPPORTED_METRICS, TrainingSettings
+from ..errors import PipelineError
+from ..nasbench.dataset import NASBenchDataset
+
+#: Bump to invalidate every cached artifact when the on-disk format changes.
+CACHE_FORMAT_VERSION = 1
+
+
+def stable_key(payload: object) -> str:
+    """Short stable digest of a JSON-serializable payload."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class PopulationSpec:
+    """Deterministic recipe for the training population.
+
+    ``NASBenchDataset.generate`` is fully determined by these fields, so the
+    spec (not the sampled cells) is what enters the cache keys; the cache
+    additionally verifies the sampled fingerprints on load.
+    """
+
+    num_models: int = 400
+    seed: int = 0
+    include_famous_cells: bool = True
+
+    def build(self) -> NASBenchDataset:
+        """Sample the population this spec describes."""
+        return NASBenchDataset.generate(
+            num_models=self.num_models,
+            seed=self.seed,
+            include_famous_cells=self.include_famous_cells,
+        )
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One learned-model experiment: population × configs × metrics grid."""
+
+    name: str
+    population: PopulationSpec = field(default_factory=PopulationSpec)
+    config_names: tuple[str, ...] = ("V1", "V2", "V3")
+    metrics: tuple[str, ...] = ("latency",)
+    settings: TrainingSettings = field(default_factory=TrainingSettings)
+    enable_parameter_caching: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.config_names:
+            raise PipelineError("an experiment needs at least one configuration")
+        if not self.metrics:
+            raise PipelineError("an experiment needs at least one metric")
+        for metric in self.metrics:
+            if metric not in SUPPORTED_METRICS:
+                raise PipelineError(
+                    f"unknown metric {metric!r}; expected one of {SUPPORTED_METRICS}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Cache keys
+    # ------------------------------------------------------------------ #
+    def measurement_key(self) -> str:
+        """Key of the simulator-labeled measurement set of this experiment.
+
+        Depends on the population, the simulated configurations and the
+        compiler's parameter-caching mode — everything that changes the
+        ground-truth arrays, and nothing else.
+        """
+        return stable_key(
+            {
+                "kind": "measurements",
+                "version": CACHE_FORMAT_VERSION,
+                "population": asdict(self.population),
+                "configs": sorted(self.config_names),
+                "parameter_caching": self.enable_parameter_caching,
+            }
+        )
+
+    def model_key(self, config_name: str, metric: str) -> str:
+        """Key of one trained (configuration, metric) model of the grid."""
+        return stable_key(
+            {
+                "kind": "model",
+                "version": CACHE_FORMAT_VERSION,
+                "population": asdict(self.population),
+                "parameter_caching": self.enable_parameter_caching,
+                "config": config_name,
+                "metric": metric,
+                "settings": asdict(self.settings),
+            }
+        )

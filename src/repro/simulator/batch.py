@@ -107,6 +107,21 @@ class BatchSimulator:
         """Latency/energy arrays of *networks* on one configuration."""
         return self.evaluate_table(LayerTable.from_networks(networks), config)
 
+    def evaluate_cells(
+        self,
+        cells: Sequence[Cell],
+        config: AcceleratorConfig,
+        network_config: NetworkConfig | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Latency/energy arrays of bare *cells* on one configuration.
+
+        Convenience for callers that have cells rather than a dataset (the
+        learned-model examples, operation-swap analysis): the cells are
+        expanded, flattened into one table and swept in a single pass.
+        """
+        networks = [build_network(cell, network_config) for cell in cells]
+        return self.evaluate_networks(networks, config)
+
     def evaluate_table(
         self, table: LayerTable, config: AcceleratorConfig
     ) -> tuple[np.ndarray, np.ndarray]:

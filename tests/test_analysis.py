@@ -222,3 +222,24 @@ class TestSwaps:
         a = operation_swap_matrix(records, EDGE_TPU_V2, max_models=10, seed=3)
         b = operation_swap_matrix(records, EDGE_TPU_V2, max_models=10, seed=3)
         assert a.change_ms(CONV1X1, CONV3X3) == pytest.approx(b.change_ms(CONV1X1, CONV3X3))
+
+    def test_figure15_vectorized_matches_scalar_reference(self, dataset):
+        records = dataset.records[:15]
+        vectorized = operation_swap_matrix(records, EDGE_TPU_V2)
+        scalar = operation_swap_matrix(records, EDGE_TPU_V2, strategy="scalar")
+        assert set(vectorized.impacts) == set(scalar.impacts)
+        for pair, impact in vectorized.impacts.items():
+            reference = scalar.impacts[pair]
+            assert impact.num_swaps == reference.num_swaps, pair
+            assert impact.avg_change_ms == pytest.approx(
+                reference.avg_change_ms, rel=1e-9, abs=1e-12
+            ), pair
+            assert impact.avg_change_percent == pytest.approx(
+                reference.avg_change_percent, rel=1e-9, abs=1e-12
+            ), pair
+
+    def test_figure15_unknown_strategy_rejected(self, dataset):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            operation_swap_matrix(dataset.records[:5], EDGE_TPU_V2, strategy="turbo")
