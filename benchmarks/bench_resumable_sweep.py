@@ -1,0 +1,109 @@
+"""Resumable sweep: warm-resume cost ≈ only the missing shards.
+
+The paper's headline sweep is ~1.5M latency simulations; an interruption used
+to throw the whole run away.  This benchmark measures the three regimes of
+the sharded :class:`~repro.service.MeasurementStore`:
+
+* **cold** — every (shard, configuration) pair simulated and persisted;
+* **interrupted resume** — half the shards already on disk (an interrupted
+  run), the re-run simulates exactly the missing half;
+* **fully warm** — every pair on disk, the "sweep" is pure loading (the
+  regime :class:`~repro.service.SweepService` serves queries from).
+
+The tracked pytest-benchmark metric is the fully-warm load; the table
+reports elapsed time, the simulated/loaded pair split from the store stats,
+and effective models/sec for all three regimes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.arch import STUDIED_CONFIGS
+from repro.nasbench import NASBenchDataset
+from repro.service import MeasurementStore
+
+from _reporting import report
+
+#: Population size of the sweep (small by paper standards, enough shards to
+#: make the resume arithmetic visible).
+STORE_MODELS = int(os.environ.get("REPRO_BENCH_STORE_MODELS", "480"))
+#: Models per shard.
+STORE_SHARD = int(os.environ.get("REPRO_BENCH_STORE_SHARD", "64"))
+#: Seed of the sampled population.
+STORE_SEED = int(os.environ.get("REPRO_BENCH_STORE_SEED", "2022"))
+
+
+def _timed_sweep(root, dataset, configs):
+    """One store sweep; returns (store, elapsed seconds)."""
+    store = MeasurementStore(root, shard_size=STORE_SHARD)
+    start = time.perf_counter()
+    store.sweep(dataset, configs=configs)
+    return store, time.perf_counter() - start
+
+
+def test_resumable_sweep(benchmark, tmp_path):
+    dataset = NASBenchDataset.generate(num_models=STORE_MODELS, seed=STORE_SEED)
+    configs = list(STUDIED_CONFIGS.values())
+    total = len(dataset)
+
+    # --- cold: everything simulated --------------------------------------- #
+    cold_store, cold_elapsed = _timed_sweep(tmp_path / "cold", dataset, configs)
+    n_shards = len(cold_store.shard_ranges(total))
+    n_pairs = n_shards * len(configs)
+    assert cold_store.stats.pairs_simulated == n_pairs
+
+    # --- interrupted resume: half the shards are already on disk ---------- #
+    # Shards are content-keyed, so sweeping the prefix population writes
+    # exactly the files the full population reuses.
+    warm_shards = n_shards // 2
+    prefix = NASBenchDataset(
+        dataset.records[: warm_shards * STORE_SHARD], dataset.network_config
+    )
+    resume_root = tmp_path / "resume"
+    MeasurementStore(resume_root, shard_size=STORE_SHARD).sweep(prefix, configs=configs)
+    resume_store, resume_elapsed = _timed_sweep(resume_root, dataset, configs)
+    assert resume_store.stats.pairs_simulated == (n_shards - warm_shards) * len(configs)
+    assert resume_store.stats.pairs_loaded == warm_shards * len(configs)
+    assert resume_elapsed < cold_elapsed, (
+        f"resuming {n_shards - warm_shards}/{n_shards} shards took "
+        f"{resume_elapsed:.3f}s vs {cold_elapsed:.3f}s cold"
+    )
+
+    # --- fully warm: pure loading (the tracked benchmark metric) ----------- #
+    warm_store = MeasurementStore(tmp_path / "cold", shard_size=STORE_SHARD)
+    benchmark.pedantic(
+        lambda: warm_store.sweep(dataset, configs=configs), rounds=3, iterations=1
+    )
+    load_store, warm_elapsed = _timed_sweep(tmp_path / "cold", dataset, configs)
+    assert load_store.stats.pairs_simulated == 0
+    assert warm_elapsed < cold_elapsed
+
+    benchmark.extra_info["shards"] = n_shards
+    benchmark.extra_info["cold_models_per_sec"] = round(total / cold_elapsed, 1)
+    benchmark.extra_info["resume_models_per_sec"] = round(total / resume_elapsed, 1)
+    benchmark.extra_info["warm_models_per_sec"] = round(total / warm_elapsed, 1)
+    benchmark.extra_info["resume_fraction_of_cold"] = round(
+        resume_elapsed / cold_elapsed, 3
+    )
+
+    rows = [
+        ("cold (all simulated)", cold_store.stats, cold_elapsed),
+        (f"resume ({warm_shards}/{n_shards} shards warm)",
+         resume_store.stats, resume_elapsed),
+        ("fully warm (pure load)", load_store.stats, warm_elapsed),
+    ]
+    lines = [
+        "Resumable sweep — sharded measurement store over the V1/V2/V3 sweep",
+        f"({total} models, {n_shards} shards of {STORE_SHARD}, "
+        f"{n_pairs} (shard, config) pairs)",
+        f"{'regime':<30}{'simulated':>10}{'loaded':>8}{'elapsed (s)':>13}"
+        f"{'models/sec':>12}",
+    ]
+    for label, stats, elapsed in rows:
+        lines.append(
+            f"{label:<30}{stats.pairs_simulated:>10}{stats.pairs_loaded:>8}"
+            f"{elapsed:>13.3f}{total / elapsed:>12.1f}"
+        )
+    report("resumable_sweep", lines)

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Resumable sweeps and disk-backed queries with the service subsystem.
+
+The paper's headline experiment is ~1.5M latency / ~900K energy simulations;
+run monolithically, an interruption throws everything away and nothing can
+be queried until the whole sweep finishes.  This example shows the
+alternative:
+
+1. sweep a sampled population through a :class:`repro.MeasurementStore` —
+   results persist shard-by-shard as content-keyed npz files, so the run is
+   interruptible and the second invocation of this script loads instead of
+   simulating (delete the store directory to go cold again);
+2. ``extend()`` the same store with an extra accelerator configuration —
+   only the missing (shard, configuration) pairs are simulated;
+3. stand up a :class:`repro.SweepService` over the warm store and answer the
+   evaluation-section queries from disk: top-k by accuracy, the Pareto
+   frontier, latency/energy of a cell by fingerprint, and learned-model
+   predictions for cells that were never simulated.
+
+Run with:  python examples/sweep_service.py [num_models]
+"""
+
+import os
+import sys
+import time
+
+from repro import MeasurementStore, SweepService
+from repro.core import TrainingSettings
+from repro.nasbench import NASBenchDataset, cell_fingerprint, sample_unique_cells
+
+STORE_DIR = os.environ.get("REPRO_STORE_DIR", ".repro-store")
+
+
+def main(num_models: int = 300) -> None:
+    dataset = NASBenchDataset.generate(num_models=num_models, seed=7)
+
+    # 1. Resumable sweep: every completed shard lands on disk immediately.
+    store = MeasurementStore(STORE_DIR, shard_size=64)
+    start = time.perf_counter()
+    store.sweep(dataset, configs=("V1", "V2"))
+    elapsed = time.perf_counter() - start
+    print(
+        f"sweep of {num_models} models on V1/V2: "
+        f"{store.stats.pairs_simulated} (shard, config) pairs simulated, "
+        f"{store.stats.pairs_loaded} loaded from {STORE_DIR!r} "
+        f"({elapsed:.2f}s — rerun this script for a warm start)"
+    )
+
+    # 2. Incremental extension: V3 shards are the only new work.
+    before = store.stats.pairs_simulated
+    store.extend(dataset, configs=("V1", "V2", "V3"))
+    print(f"extend with V3: {store.stats.pairs_simulated - before} pairs simulated")
+
+    # 3. Queries are answered from disk — no simulator in the loop.
+    service = SweepService(
+        MeasurementStore(STORE_DIR, shard_size=64),
+        dataset,
+        configs=("V1", "V2", "V3"),
+        settings=TrainingSettings(epochs=8, seed=1),
+    )
+    print("\ntop-3 models by accuracy (latency in ms):")
+    for entry in service.top_k(3):
+        latencies = ", ".join(
+            f"{name}={value:.3f}" for name, value in sorted(entry.latency_ms.items())
+        )
+        print(
+            f"  #{entry.rank} {entry.record.fingerprint[:12]}  "
+            f"acc={entry.accuracy:.4f}  {latencies}  fastest={entry.fastest_config}"
+        )
+
+    front = service.pareto_front("V2")
+    print(f"\nV2 accuracy/latency Pareto frontier: {len(front)} points")
+    best = service.top_k(1)[0].record
+    print(
+        f"lookup by fingerprint {best.fingerprint[:12]}: "
+        f"latency V2 = {service.latency_of(best.fingerprint, 'V2'):.3f} ms, "
+        f"energy V1 = {service.energy_of(best.fingerprint, 'V1'):.3f} mJ"
+    )
+
+    unseen = sample_unique_cells(3, seed=12345)
+    start = time.perf_counter()
+    predictions = service.predict(unseen, "V2")
+    elapsed_ms = (time.perf_counter() - start) * 1e3
+    print("\nlearned-model latency predictions for unseen cells (V2):")
+    for cell, value in zip(unseen, predictions):
+        print(f"  {cell_fingerprint(cell)[:12]:<14}{value:.3f} ms (predicted)")
+    print(f"(3 predictions in {elapsed_ms:.1f} ms; weights cached in {STORE_DIR!r})")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 300)

@@ -8,6 +8,7 @@ The package is organized as:
 * :mod:`repro.simulator` — the latency/energy performance model;
 * :mod:`repro.core` — the graph-neural-network learned performance model;
 * :mod:`repro.pipeline` — experiment orchestration (train/evaluate grids with caching);
+* :mod:`repro.service` — resumable sharded measurement store and sweep query service;
 * :mod:`repro.analysis` — the characterization study (tables and figures).
 
 The most common entry points are re-exported here.
@@ -30,6 +31,7 @@ from .errors import (
     ModelError,
     PipelineError,
     ReproError,
+    ServiceError,
     SimulationError,
 )
 from .nasbench import (
@@ -47,6 +49,7 @@ from .pipeline import (
     PopulationSpec,
     run_experiment,
 )
+from .service import MeasurementStore, StoreStats, SweepService
 from .simulator import (
     BatchSimulator,
     MeasurementSet,
@@ -73,6 +76,7 @@ __all__ = [
     "LayerTable",
     "LearnedPerformanceModel",
     "MeasurementSet",
+    "MeasurementStore",
     "ModelError",
     "NASBenchDataset",
     "NetworkConfig",
@@ -81,7 +85,10 @@ __all__ = [
     "PopulationSpec",
     "ReproError",
     "STUDIED_CONFIGS",
+    "ServiceError",
     "SimulationError",
+    "StoreStats",
+    "SweepService",
     "TrainingSettings",
     "build_network",
     "cell_fingerprint",

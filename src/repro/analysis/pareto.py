@@ -54,10 +54,13 @@ def accuracy_latency_arrays(
 def pareto_front_mask(latencies: np.ndarray, accuracies: np.ndarray) -> np.ndarray:
     """Boolean mask of the non-dominated (latency ↓, accuracy ↑) points.
 
-    Vectorized: points are ranked by latency (stable, so ties keep input
-    order) and a point survives iff its accuracy strictly exceeds the running
-    maximum of every cheaper point — the same rule the scalar frontier walk
-    applied.
+    Vectorized: points are ranked by latency ascending, then accuracy
+    descending (stable, so exact duplicates keep input order), and a point
+    survives iff its accuracy strictly exceeds the running maximum of every
+    earlier-ranked point.  Latency ties are therefore resolved correctly:
+    among equal-latency points only the most accurate survives (the earlier
+    one in input order on exact duplicates), since the cheaper-or-equal
+    better point dominates the rest.
     """
     latencies = np.asarray(latencies, dtype=float)
     accuracies = np.asarray(accuracies, dtype=float)
@@ -65,7 +68,8 @@ def pareto_front_mask(latencies: np.ndarray, accuracies: np.ndarray) -> np.ndarr
         raise DatasetError("latencies and accuracies must be 1-D arrays of equal length")
     if latencies.size == 0:
         return np.zeros(0, dtype=bool)
-    order = np.argsort(latencies, kind="stable")
+    # lexsort is stable and keys right-to-left: latency is primary.
+    order = np.lexsort((-accuracies, latencies))
     ordered_accuracy = accuracies[order]
     best_before = np.concatenate(
         [[-np.inf], np.maximum.accumulate(ordered_accuracy)[:-1]]
@@ -73,6 +77,24 @@ def pareto_front_mask(latencies: np.ndarray, accuracies: np.ndarray) -> np.ndarr
     mask = np.zeros(latencies.size, dtype=bool)
     mask[order[ordered_accuracy > best_before]] = True
     return mask
+
+
+def pareto_front_indices(
+    measurements: MeasurementSet,
+    config_name: str,
+    min_accuracy: float = 0.70,
+) -> np.ndarray:
+    """Dataset indices of the frontier models, sorted by ascending latency.
+
+    The array form of :func:`latency_accuracy_frontier`, used by the sweep
+    service to answer Pareto queries without materializing point objects.
+    """
+    latencies, accuracies, indices = accuracy_latency_arrays(
+        measurements, config_name, min_accuracy
+    )
+    mask = pareto_front_mask(latencies, accuracies)
+    order = np.argsort(latencies[mask], kind="stable")
+    return indices[mask][order]
 
 
 def accuracy_latency_scatter(

@@ -19,6 +19,7 @@ from .predictor import (
     LearnedPerformanceModel,
     TrainingSettings,
     metric_targets,
+    table_digest,
 )
 from .trainer import (
     DatasetSplit,
@@ -63,5 +64,6 @@ __all__ = [
     "pearson_correlation",
     "spearman_correlation",
     "split_dataset",
+    "table_digest",
     "train_model",
 ]

@@ -95,8 +95,13 @@ def metric_targets(
     )
 
 
-def _table_digest(table: GraphTable) -> str:
-    """Content digest of a packed population (cache-restore identity check)."""
+def table_digest(table: GraphTable) -> str:
+    """Content digest of a packed population.
+
+    Used as the cache-restore identity check of :meth:`restore_state` and by
+    the sweep service to key cached trained-model states by population
+    *content* (rather than by a sampling spec).
+    """
     digest = hashlib.sha256()
     for array in (
         table.nodes, table.edges, table.globals_,
@@ -265,7 +270,7 @@ class LearnedPerformanceModel:
         assert self._table is not None
         mean, std = self.normalizer.stats
         state: dict[str, np.ndarray] = {
-            "table_digest": np.array(_table_digest(self._table)),
+            "table_digest": np.array(table_digest(self._table)),
             "targets": self._targets,
             "split_train": self.split.train,
             "split_validation": self.split.validation,
@@ -290,7 +295,7 @@ class LearnedPerformanceModel:
                 "cached state does not match the graph table "
                 f"({len(targets)} targets for {table.num_graphs} graphs)"
             )
-        if str(state["table_digest"]) != _table_digest(table):
+        if str(state["table_digest"]) != table_digest(table):
             raise ModelError(
                 "cached state was trained on a different population than the "
                 "given graph table (feature digest mismatch)"

@@ -47,3 +47,7 @@ class DatasetError(ReproError):
 
 class PipelineError(ReproError):
     """Raised when an experiment pipeline is misconfigured or a cache is corrupt."""
+
+
+class ServiceError(ReproError):
+    """Raised by the measurement store / sweep service (missing shards, bad I/O)."""

@@ -3,9 +3,13 @@
 Artifacts are keyed by the stable experiment hashes of
 :mod:`repro.pipeline.experiment`:
 
-* ``measurements-<key>.npz`` — per-configuration latency/energy arrays plus
-  the population's cell fingerprints (verified on load, so a stale or
-  mismatched file degrades to a cache miss instead of silently mislabeling);
+* measurements live in a sharded, resumable
+  :class:`~repro.service.store.MeasurementStore` embedded under the prefix
+  ``measurements-<key>`` (per-shard npz files, cell fingerprints verified on
+  load) — the legacy whole-set ``load_measurements`` / ``save_measurements``
+  entry points are thin adapters over it, and :func:`run_experiment` goes
+  through the store directly so interrupted labeling sweeps resume instead
+  of restarting;
 * ``model-<key>.npz`` — the flat state dict exported by
   :meth:`LearnedPerformanceModel.export_state` (weights, normalizer stats,
   split indices, loss history, raw targets).
@@ -16,16 +20,14 @@ can report exactly how incremental a re-run was.
 
 from __future__ import annotations
 
-import os
-import uuid
-import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
-from ..errors import PipelineError
+from ..errors import PipelineError, ServiceError, SimulationError
 from ..nasbench.dataset import NASBenchDataset
+from ..service.store import DEFAULT_SHARD_SIZE, MeasurementStore, read_npz, write_npz
 from ..simulator.runner import MeasurementSet
 
 
@@ -62,65 +64,89 @@ class ExperimentCache:
     # ------------------------------------------------------------------ #
     # Paths
     # ------------------------------------------------------------------ #
-    def measurement_path(self, key: str) -> Path:
-        """File path of a cached measurement set."""
-        return self.root / f"measurements-{key}.npz"
-
     def model_path(self, key: str) -> Path:
         """File path of a cached trained-model state."""
         return self.root / f"model-{key}.npz"
 
     # ------------------------------------------------------------------ #
-    # Measurements
+    # Measurements (adapter over the sharded measurement store)
     # ------------------------------------------------------------------ #
+    def measurement_store(
+        self,
+        key: str,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        enable_parameter_caching: bool = True,
+    ) -> MeasurementStore:
+        """The resumable shard store holding the measurements of *key*.
+
+        Shards share the cache's flat root directory under the prefix
+        ``measurements-<key>``, so one experiment's sweep is a set of files
+        rather than a monolithic archive; the experiment runner sweeps
+        through this store directly and only falls back to the whole-set
+        adapters below for legacy callers.
+        """
+        return MeasurementStore(
+            self.root,
+            shard_size=shard_size,
+            enable_parameter_caching=enable_parameter_caching,
+            prefix=f"measurements-{key}",
+        )
+
     def load_measurements(
-        self, key: str, dataset: NASBenchDataset
+        self,
+        key: str,
+        dataset: NASBenchDataset,
+        enable_parameter_caching: bool = True,
     ) -> MeasurementSet | None:
         """Load the measurement set at *key*, verifying the population.
 
-        Returns ``None`` (a miss) when the file is absent or its stored cell
-        fingerprints do not match *dataset* exactly.
+        Returns ``None`` (a miss) when any shard is absent, corrupt, or has
+        cell fingerprints not matching *dataset* exactly.  The
+        *enable_parameter_caching* mode is part of every shard key and must
+        match the mode the measurements were saved with.
         """
-        path = self.measurement_path(key)
-        stored = self._read(path)
-        if stored is None:
+        store = self.measurement_store(
+            key, enable_parameter_caching=enable_parameter_caching
+        )
+        config_names = store.available_configs()
+        if not config_names:
             self.stats.measurement_misses += 1
             return None
-        fingerprints = np.array([record.fingerprint for record in dataset])
-        if not np.array_equal(stored.get("fingerprints"), fingerprints):
+        try:
+            measurements = store.load(dataset, configs=config_names)
+        except (ServiceError, SimulationError):
             self.stats.measurement_misses += 1
             return None
-        latencies = {
-            name.removeprefix("latency::"): values
-            for name, values in stored.items()
-            if name.startswith("latency::")
-        }
-        energies = {
-            name.removeprefix("energy::"): values
-            for name, values in stored.items()
-            if name.startswith("energy::")
-        }
         self.stats.measurement_hits += 1
-        return MeasurementSet(dataset, latencies, energies)
+        return measurements
 
-    def save_measurements(self, key: str, measurements: MeasurementSet) -> Path:
-        """Persist a measurement set under *key*."""
-        payload: dict[str, np.ndarray] = {
-            "fingerprints": np.array(
-                [record.fingerprint for record in measurements.dataset]
-            )
-        }
-        for name in measurements.config_names:
-            payload[f"latency::{name}"] = measurements.latencies(name)
-            payload[f"energy::{name}"] = measurements.energies(name)
-        return self._write(self.measurement_path(key), payload)
+    def save_measurements(
+        self,
+        key: str,
+        measurements: MeasurementSet,
+        enable_parameter_caching: bool = True,
+    ) -> Path:
+        """Persist a measurement set under *key* (shard-by-shard).
+
+        *enable_parameter_caching* must state the compiler mode the
+        measurements were simulated with — it enters every shard key, so a
+        mislabeled mode would poison later mode-checked loads.  Returns the
+        directory holding the shard files.
+        """
+        try:
+            self.measurement_store(
+                key, enable_parameter_caching=enable_parameter_caching
+            ).ingest(measurements)
+        except ServiceError as exc:
+            raise PipelineError(str(exc)) from exc
+        return self.root
 
     # ------------------------------------------------------------------ #
     # Trained models
     # ------------------------------------------------------------------ #
     def load_model_state(self, key: str) -> dict[str, np.ndarray] | None:
         """Load a trained-model state dict, or ``None`` on a miss."""
-        state = self._read(self.model_path(key))
+        state = read_npz(self.model_path(key))
         if state is None:
             self.stats.model_misses += 1
             return None
@@ -129,7 +155,10 @@ class ExperimentCache:
 
     def save_model_state(self, key: str, state: dict[str, np.ndarray]) -> Path:
         """Persist a trained-model state dict under *key*."""
-        return self._write(self.model_path(key), state)
+        try:
+            return write_npz(self.model_path(key), state)
+        except ServiceError as exc:
+            raise PipelineError(str(exc)) from exc
 
     def reclassify_model_hit_as_miss(self) -> None:
         """Recount the last model hit as a miss.
@@ -140,34 +169,3 @@ class ExperimentCache:
         """
         self.stats.model_hits -= 1
         self.stats.model_misses += 1
-
-    # ------------------------------------------------------------------ #
-    # Internals
-    # ------------------------------------------------------------------ #
-    def _read(self, path: Path) -> dict[str, np.ndarray] | None:
-        """Load an npz artifact; a missing or corrupt file is ``None`` (miss).
-
-        Corruption can happen when concurrent runs share a cache directory
-        and interleave writes to the same temp path; degrading to a miss
-        re-computes the artifact instead of crashing or mislabeling.
-        """
-        if not path.exists():
-            return None
-        try:
-            with np.load(path, allow_pickle=False) as archive:
-                return {name: archive[name] for name in archive.files}
-        except (OSError, ValueError, zipfile.BadZipFile):
-            return None
-
-    def _write(self, path: Path, payload: dict[str, np.ndarray]) -> Path:
-        self.root.mkdir(parents=True, exist_ok=True)
-        # Unique temp name per writer: concurrent runs sharing a cache_dir
-        # then race only on the atomic replace(), never on the bytes.
-        tmp = path.with_suffix(f".tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}.npz")
-        try:
-            np.savez_compressed(tmp, **payload)
-            tmp.replace(path)
-        except OSError as exc:
-            tmp.unlink(missing_ok=True)
-            raise PipelineError(f"failed to write cache artifact {path}: {exc}") from exc
-        return path

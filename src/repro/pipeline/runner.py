@@ -123,20 +123,33 @@ def run_experiment(
 
     cache = ExperimentCache(Path(cache_dir)) if cache_dir is not None else None
     configs = [get_config(name) for name in experiment.config_names]
+    simulator = BatchSimulator(
+        enable_parameter_caching=experiment.enable_parameter_caching
+    )
 
-    measurements = None
     if cache is not None:
-        measurements = cache.load_measurements(experiment.measurement_key(), dataset)
-    if measurements is None:
-        say(f"labeling population on {len(configs)} configurations (vectorized sweep)")
-        simulator = BatchSimulator(
-            enable_parameter_caching=experiment.enable_parameter_caching
+        # Labeling goes through the resumable shard store: shards already on
+        # disk are loaded and only the missing (shard, config) pairs are
+        # simulated, so an interrupted labeling sweep resumes where it
+        # stopped instead of restarting.
+        store = cache.measurement_store(
+            experiment.measurement_key(),
+            enable_parameter_caching=experiment.enable_parameter_caching,
         )
-        measurements = simulator.evaluate(dataset, configs=configs)
-        if cache is not None:
-            cache.save_measurements(experiment.measurement_key(), measurements)
+        say(f"labeling population on {len(configs)} configurations (sharded sweep)")
+        measurements = simulator.evaluate(dataset, configs=configs, store=store)
+        if store.stats.pairs_simulated == 0:
+            cache.stats.measurement_hits += 1
+            say("labeling: measurement store hit (every shard on disk)")
+        else:
+            cache.stats.measurement_misses += 1
+            say(
+                f"labeling: simulated {store.stats.pairs_simulated} and loaded "
+                f"{store.stats.pairs_loaded} (shard, config) pairs"
+            )
     else:
-        say("labeling: measurement cache hit")
+        say(f"labeling population on {len(configs)} configurations (vectorized sweep)")
+        measurements = simulator.evaluate(dataset, configs=configs)
 
     say("packing graph table")
     table = GraphTable.from_cells([record.cell for record in dataset])

@@ -1,0 +1,36 @@
+"""Resumable sweep storage and serving.
+
+The paper's headline sweep (~1.5M latency / ~900K energy simulations) is too
+big to be all-or-nothing.  This subsystem persists sweeps as per-shard,
+content-keyed npz files and serves queries from them:
+
+* :class:`MeasurementStore` — append-only, fingerprint-verified shard store;
+  :meth:`~MeasurementStore.extend` simulates only the missing (shard,
+  configuration) pairs, so sweeps survive interruption and grow
+  incrementally (see DESIGN.md §6);
+* :class:`SweepService` — read-only query API (top-k, Pareto frontier,
+  fingerprint lookups, learned-model predictions for unseen cells) that
+  never invokes the simulator.
+"""
+
+from .query import SweepService
+from .store import (
+    DEFAULT_SHARD_SIZE,
+    STORE_FORMAT_VERSION,
+    MeasurementStore,
+    StoreStats,
+    read_npz,
+    stable_digest,
+    write_npz,
+)
+
+__all__ = [
+    "DEFAULT_SHARD_SIZE",
+    "MeasurementStore",
+    "STORE_FORMAT_VERSION",
+    "StoreStats",
+    "SweepService",
+    "read_npz",
+    "stable_digest",
+    "write_npz",
+]

@@ -1,0 +1,226 @@
+"""Query service over a warm measurement store.
+
+:class:`SweepService` answers the questions the analysis and exploration
+workflows keep asking of a finished sweep — without re-simulating anything:
+construction loads the population's measurements from a
+:class:`~repro.service.store.MeasurementStore` (read-only; a cold store is a
+:class:`~repro.errors.ServiceError`, never a silent re-sweep), and every
+query is a lookup or an array kernel over the loaded
+:class:`~repro.simulator.runner.MeasurementSet`:
+
+* :meth:`top_k` — the most accurate models, annotated with per-configuration
+  latency (paper Figure 9);
+* :meth:`pareto_front` / :meth:`pareto_front_indices` — the non-dominated
+  accuracy/latency frontier of one configuration (Figure 5);
+* :meth:`latency_of` / :meth:`energy_of` — measurements of one cell by its
+  isomorphism fingerprint;
+* :meth:`predict` — estimated metrics for *unseen* cells via a
+  :class:`~repro.core.predictor.LearnedPerformanceModel` trained on the
+  stored measurements, with trained weights cached as npz next to the shards
+  (keyed by population content digest × configuration × metric × training
+  settings), so a model is fitted at most once per store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..analysis.pareto import (
+    AccuracyLatencyPoint,
+    TopModelEntry,
+    latency_accuracy_frontier,
+    pareto_front_indices,
+    top_models_by_accuracy,
+)
+from ..core.graph_table import GraphTable
+from ..core.predictor import (
+    LearnedPerformanceModel,
+    TrainingSettings,
+    metric_targets,
+    table_digest,
+)
+from ..errors import ModelError, ServiceError
+from ..nasbench.cell import Cell
+from ..nasbench.dataset import ModelRecord, NASBenchDataset
+from ..simulator.runner import MeasurementSet
+from .store import (
+    STORE_FORMAT_VERSION,
+    MeasurementStore,
+    read_npz,
+    stable_digest,
+    write_npz,
+)
+
+
+class SweepService:
+    """Disk-backed query API over one population's sweep measurements.
+
+    Parameters
+    ----------
+    store:
+        The warm :class:`MeasurementStore`; every requested (shard,
+        configuration) pair must already be on disk.
+    dataset:
+        The population the store was swept over (fingerprint-verified
+        against the shard files on load).
+    configs:
+        Configurations to serve (names or
+        :class:`~repro.arch.config.AcceleratorConfig`; defaults to the
+        paper's V1/V2/V3).
+    settings:
+        Training hyperparameters of the learned models backing
+        :meth:`predict` (part of their weight-cache key).
+    """
+
+    def __init__(
+        self,
+        store: MeasurementStore,
+        dataset: NASBenchDataset,
+        configs: Iterable[object] | None = None,
+        settings: TrainingSettings | None = None,
+    ):
+        self._store = store
+        self._dataset = dataset
+        self._measurements = store.load(dataset, configs=configs)
+        self._settings = settings or TrainingSettings()
+        self._models: dict[tuple[str, str], LearnedPerformanceModel] = {}
+        self._table: GraphTable | None = None
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def dataset(self) -> NASBenchDataset:
+        """The served population."""
+        return self._dataset
+
+    @property
+    def measurements(self) -> MeasurementSet:
+        """The store-loaded measurement set every query is answered from."""
+        return self._measurements
+
+    @property
+    def config_names(self) -> list[str]:
+        """Configurations the service can answer queries for."""
+        return self._measurements.config_names
+
+    # ------------------------------------------------------------------ #
+    # Ranking and frontier queries
+    # ------------------------------------------------------------------ #
+    def top_k(self, k: int = 5) -> list[TopModelEntry]:
+        """The *k* most accurate models with their per-configuration latency."""
+        return top_models_by_accuracy(self._measurements, k)
+
+    def pareto_front(
+        self, config_name: str, min_accuracy: float = 0.70
+    ) -> list[AccuracyLatencyPoint]:
+        """Non-dominated (latency ↓, accuracy ↑) points of one configuration."""
+        self._require_config(config_name)
+        return latency_accuracy_frontier(self._measurements, config_name, min_accuracy)
+
+    def pareto_front_indices(
+        self, config_name: str, min_accuracy: float = 0.70
+    ) -> np.ndarray:
+        """Dataset indices of the frontier models, ascending latency."""
+        self._require_config(config_name)
+        return pareto_front_indices(self._measurements, config_name, min_accuracy)
+
+    # ------------------------------------------------------------------ #
+    # Point lookups by fingerprint
+    # ------------------------------------------------------------------ #
+    def record_of(self, fingerprint: str) -> ModelRecord:
+        """The dataset record with the given isomorphism fingerprint."""
+        return self._dataset.find(fingerprint)
+
+    def latency_of(self, fingerprint: str, config_name: str) -> float:
+        """Measured latency (ms) of one cell on one configuration."""
+        self._require_config(config_name)
+        return self._measurements.latency_of(self.record_of(fingerprint), config_name)
+
+    def energy_of(self, fingerprint: str, config_name: str) -> float | None:
+        """Measured energy (mJ) of one cell (``None`` without an energy model)."""
+        self._require_config(config_name)
+        return self._measurements.energy_of(self.record_of(fingerprint), config_name)
+
+    # ------------------------------------------------------------------ #
+    # Predictions for unseen cells
+    # ------------------------------------------------------------------ #
+    def predict(
+        self, cells: Sequence[Cell], config_name: str, metric: str = "latency"
+    ) -> np.ndarray:
+        """Predicted metric values (raw units) of *cells* — no simulation.
+
+        The backing learned model is trained once per (configuration,
+        metric) on the stored measurements and its weights are cached on
+        disk; subsequent services over the same store restore instead of
+        refitting.
+        """
+        self._require_config(config_name)
+        return self._model_for(config_name, metric).predict_cells(list(cells))
+
+    def predict_cell(
+        self, cell: Cell, config_name: str, metric: str = "latency"
+    ) -> float:
+        """Predicted metric value of a single unseen cell."""
+        return float(self.predict([cell], config_name, metric)[0])
+
+    def model_state_path(self, config_name: str, metric: str = "latency"):
+        """Path of the cached trained-model state backing :meth:`predict`.
+
+        Weights live in a ``models/`` subdirectory so they can never be
+        mistaken for shard files by the store's directory scan
+        (:meth:`MeasurementStore.available_configs`).
+        """
+        key = stable_digest(
+            {
+                "kind": "service-model",
+                "version": STORE_FORMAT_VERSION,
+                "population": table_digest(self._packed_table()),
+                "config": config_name,
+                "metric": metric,
+                "settings": asdict(self._settings),
+            }
+        )
+        return self._store.root / "models" / f"{self._store.prefix}-{key}.npz"
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _packed_table(self) -> GraphTable:
+        if self._table is None:
+            self._table = GraphTable.from_cells(
+                [record.cell for record in self._dataset]
+            )
+        return self._table
+
+    def _model_for(self, config_name: str, metric: str) -> LearnedPerformanceModel:
+        cached = self._models.get((config_name, metric))
+        if cached is not None:
+            return cached
+        targets = metric_targets(self._measurements, config_name, metric)
+        table = self._packed_table()
+        path = self.model_state_path(config_name, metric)
+        model = LearnedPerformanceModel(config_name, self._settings)
+        state = read_npz(path)
+        if state is not None:
+            try:
+                model.restore_state(table, state)
+            except ModelError:
+                # Stale or foreign artifact under a colliding name: refit.
+                state = None
+                model = LearnedPerformanceModel(config_name, self._settings)
+        if state is None:
+            model.fit_table(table, targets)
+            write_npz(path, model.export_state())
+        self._models[(config_name, metric)] = model
+        return model
+
+    def _require_config(self, config_name: str) -> None:
+        if config_name not in self._measurements.config_names:
+            raise ServiceError(
+                f"configuration {config_name!r} is not served by this sweep "
+                f"service (available: {self._measurements.config_names})"
+            )

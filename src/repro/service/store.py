@@ -1,0 +1,529 @@
+"""Resumable, sharded on-disk measurement store.
+
+The paper's headline sweep is ~1.5M latency and ~900K energy simulations;
+done monolithically it is all-or-nothing — one in-RAM
+:class:`~repro.simulator.runner.MeasurementSet`, recomputed from scratch when
+interrupted.  :class:`MeasurementStore` instead persists the sweep as
+**per-(shard, configuration) npz files**, where a shard is a fixed-size
+contiguous slice of the population:
+
+* **content-keyed** — a shard file's name embeds a SHA-256 digest of the
+  shard's cell fingerprints (plus the configuration name, the compiler's
+  parameter-caching mode and a format version), and the fingerprints are
+  stored inside the file and re-verified on load.  A stale or corrupt file
+  degrades to a miss, never to silent mislabeling.
+* **append-only** — the same shard content always maps to the same key, so
+  files are only ever added (or atomically rewritten with identical bytes);
+  :meth:`extend` after growing the population or the configuration grid
+  simulates exactly the missing (shard, configuration) pairs.
+* **resumable** — every completed pair is written before the next one is
+  simulated, so a sweep interrupted after ``k`` of ``n`` shards resumes with
+  exactly ``n - k`` shard simulations (:class:`StoreStats` reports the
+  split).
+
+:meth:`extend` is the single write path (the drjit-style "record once,
+replay over shards" discipline): it loads what exists, simulates what does
+not through a :class:`~repro.simulator.batch.BatchSimulator`, and returns
+the assembled :class:`~repro.simulator.runner.MeasurementSet`.  :meth:`load`
+is the read-only path used by :class:`~repro.service.query.SweepService` —
+it never simulates and raises :class:`~repro.errors.ServiceError` when
+shards are missing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import uuid
+import zipfile
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..arch.config import STUDIED_CONFIGS, AcceleratorConfig, get_config
+from ..errors import ServiceError
+from ..nasbench.dataset import NASBenchDataset
+from ..nasbench.layer_table import LayerTable
+from ..simulator.batch import BatchSimulator, _sweep_shard
+from ..simulator.runner import MeasurementSet
+
+#: Bump to invalidate every stored shard when the on-disk format changes.
+STORE_FORMAT_VERSION = 1
+
+#: Default number of models per shard.  Small enough that an interrupted
+#: sweep loses little work, large enough that the vectorized kernels stay
+#: wide and the file count stays manageable.
+DEFAULT_SHARD_SIZE = 128
+
+#: Hex characters of the shard content digest kept in file names.
+_DIGEST_CHARS = 16
+
+
+def stable_digest(payload: object) -> str:
+    """Short stable SHA-256 digest of a JSON-serializable payload."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:_DIGEST_CHARS]
+
+
+# --------------------------------------------------------------------------- #
+# Atomic npz I/O (shared by the store, the sweep service and the pipeline
+# cache, which is a thin adapter over this module)
+# --------------------------------------------------------------------------- #
+def read_npz(path: Path) -> dict[str, np.ndarray] | None:
+    """Load an npz artifact; a missing or corrupt file is ``None`` (a miss).
+
+    Corruption can happen when concurrent runs share a store directory and a
+    writer dies mid-replace; degrading to a miss re-computes the artifact
+    instead of crashing or mislabeling.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            return {name: archive[name] for name in archive.files}
+    except (OSError, ValueError, zipfile.BadZipFile):
+        return None
+
+
+def write_npz(path: Path, payload: dict[str, np.ndarray]) -> Path:
+    """Atomically persist *payload* as a compressed npz at *path*.
+
+    Written via a unique temporary name plus ``replace()``, so concurrent
+    writers race only on the atomic rename, never on the bytes.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(f".tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}.npz")
+    try:
+        np.savez_compressed(tmp, **payload)
+        tmp.replace(path)
+    except OSError as exc:
+        tmp.unlink(missing_ok=True)
+        raise ServiceError(f"failed to write artifact {path}: {exc}") from exc
+    return path
+
+
+@dataclass
+class StoreStats:
+    """What one store's lifetime of sweeps was served from.
+
+    A *pair* is one (shard, configuration) combination — the store's unit of
+    persistence and of incremental work.
+    """
+
+    pairs_loaded: int = 0
+    pairs_simulated: int = 0
+    models_loaded: int = 0
+    models_simulated: int = 0
+
+    @property
+    def pairs(self) -> int:
+        """Total (shard, configuration) pairs touched."""
+        return self.pairs_loaded + self.pairs_simulated
+
+
+class MeasurementStore:
+    """Sharded, fingerprint-verified npz store of sweep measurements.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the shard files (created on first write).
+    shard_size:
+        Models per shard; shards are contiguous slices of the dataset.
+    enable_parameter_caching:
+        Compiler mode the stored measurements were produced with; part of
+        every shard key, so the two modes can never be confused.
+    prefix:
+        File-name prefix of this store's shards (defaults to ``"shard"``).
+        Lets several logical stores — e.g. one per experiment key — share a
+        flat directory, which is how the pipeline cache embeds stores.
+    simulator:
+        The :class:`BatchSimulator` misses are simulated with (one is built
+        on demand; its parameter-caching mode must match the store's).
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        enable_parameter_caching: bool = True,
+        prefix: str = "shard",
+        simulator: BatchSimulator | None = None,
+    ):
+        if shard_size < 1:
+            raise ServiceError(f"shard_size must be positive, got {shard_size}")
+        if simulator is not None and (
+            simulator.enable_parameter_caching != enable_parameter_caching
+        ):
+            raise ServiceError(
+                "simulator and store disagree on parameter caching; shard "
+                "keys would not match the simulated results"
+            )
+        self.root = Path(root)
+        self.shard_size = int(shard_size)
+        self.enable_parameter_caching = bool(enable_parameter_caching)
+        self.prefix = prefix
+        self.stats = StoreStats()
+        self._simulator = simulator or BatchSimulator(
+            enable_parameter_caching=enable_parameter_caching
+        )
+
+    # ------------------------------------------------------------------ #
+    # Shard layout and keying
+    # ------------------------------------------------------------------ #
+    def shard_ranges(self, num_models: int) -> list[tuple[int, int]]:
+        """Contiguous ``(start, stop)`` model ranges, one per shard."""
+        return [
+            (start, min(start + self.shard_size, num_models))
+            for start in range(0, num_models, self.shard_size)
+        ]
+
+    def shard_key(self, fingerprints: Sequence[str], config_name: str) -> str:
+        """Content key of one (shard, configuration) pair.
+
+        Keyed by the shard's cell fingerprints rather than its position, so
+        appending models to the population leaves every full earlier shard's
+        key — and file — intact.
+        """
+        return stable_digest(
+            {
+                "kind": "measurement-shard",
+                "version": STORE_FORMAT_VERSION,
+                "config": config_name,
+                "parameter_caching": self.enable_parameter_caching,
+                "fingerprints": list(fingerprints),
+            }
+        )
+
+    def shard_path(self, config_name: str, key: str) -> Path:
+        """File path of one (shard, configuration) pair."""
+        return self.root / f"{self.prefix}-{config_name}-{key}.npz"
+
+    def available_configs(self) -> list[str]:
+        """Configuration names with at least one shard on disk."""
+        if not self.root.is_dir():
+            return []
+        pattern = re.compile(
+            re.escape(self.prefix) + r"-(.+)-[0-9a-f]{%d}\.npz$" % _DIGEST_CHARS
+        )
+        names = set()
+        for path in self.root.iterdir():
+            match = pattern.match(path.name)
+            if match:
+                names.add(match.group(1))
+        return sorted(names)
+
+    # ------------------------------------------------------------------ #
+    # Sweeping (the single write path)
+    # ------------------------------------------------------------------ #
+    def extend(
+        self,
+        dataset: NASBenchDataset,
+        configs: Iterable[AcceleratorConfig | str] | None = None,
+        n_jobs: int = 1,
+        progress_callback: Callable[[str, int, int], None] | None = None,
+    ) -> MeasurementSet:
+        """Bring the store up to date with *dataset* × *configs* and load it.
+
+        Only the missing (shard, configuration) pairs are simulated; every
+        completed pair is persisted before the next shard starts, so the
+        sweep survives interruption and a re-run resumes with exactly the
+        remaining shards.  With ``n_jobs > 1`` the missing shards are
+        simulated by a process pool and saved as their futures resolve.
+
+        *progress_callback* receives ``(config_name, done_models, total)``
+        per completed shard (loaded or simulated), in monotonically
+        increasing ``done_models`` order per configuration.
+        """
+        config_list = self._config_objects(configs)
+        total = len(dataset)
+        latencies = {c.name: np.empty(total, dtype=float) for c in config_list}
+        energies = {c.name: np.full(total, np.nan, dtype=float) for c in config_list}
+        if total == 0:
+            return MeasurementSet(dataset, latencies, energies)
+
+        ranges = self.shard_ranges(total)
+        prints = [
+            [record.fingerprint for record in dataset.records[start:stop]]
+            for start, stop in ranges
+        ]
+        if n_jobs > 1:
+            self._extend_parallel(
+                dataset, config_list, ranges, prints, latencies, energies,
+                n_jobs, progress_callback,
+            )
+            return MeasurementSet(dataset, latencies, energies)
+
+        done = {c.name: 0 for c in config_list}
+        for (start, stop), shard_prints in zip(ranges, prints):
+            missing: list[AcceleratorConfig] = []
+            for config in config_list:
+                pair = self._load_pair(shard_prints, config.name)
+                if pair is None:
+                    missing.append(config)
+                else:
+                    latencies[config.name][start:stop] = pair[0]
+                    energies[config.name][start:stop] = pair[1]
+                    self.stats.pairs_loaded += 1
+                    self.stats.models_loaded += stop - start
+            if missing:
+                # One LayerTable per shard, shared across its missing configs.
+                networks = [
+                    dataset[index].build_network(dataset.network_config)
+                    for index in range(start, stop)
+                ]
+                table = LayerTable.from_networks(networks)
+                for config in missing:
+                    latency, energy = self._simulator.evaluate_table(table, config)
+                    self._save_pair(shard_prints, config.name, latency, energy)
+                    latencies[config.name][start:stop] = latency
+                    energies[config.name][start:stop] = energy
+                    self.stats.pairs_simulated += 1
+                    self.stats.models_simulated += stop - start
+            for config in config_list:
+                done[config.name] += stop - start
+                if progress_callback is not None:
+                    progress_callback(config.name, done[config.name], total)
+        return MeasurementSet(dataset, latencies, energies)
+
+    def sweep(
+        self,
+        dataset: NASBenchDataset,
+        configs: Iterable[AcceleratorConfig | str] | None = None,
+        n_jobs: int = 1,
+        progress_callback: Callable[[str, int, int], None] | None = None,
+    ) -> MeasurementSet:
+        """Run (or resume) the sweep of *dataset* × *configs*.
+
+        Alias of :meth:`extend` — a cold sweep, a resumed sweep and an
+        incremental extension are the same operation over the store.
+        """
+        return self.extend(
+            dataset, configs=configs, n_jobs=n_jobs, progress_callback=progress_callback
+        )
+
+    def ingest(self, measurements: MeasurementSet) -> int:
+        """Persist an in-memory measurement set shard-by-shard.
+
+        Returns the number of (shard, configuration) pairs written.  Used by
+        the pipeline cache adapter to keep its legacy ``save_measurements``
+        entry point.
+        """
+        dataset = measurements.dataset
+        ranges = self.shard_ranges(len(dataset))
+        written = 0
+        for start, stop in ranges:
+            shard_prints = [
+                record.fingerprint for record in dataset.records[start:stop]
+            ]
+            for name in measurements.config_names:
+                self._save_pair(
+                    shard_prints,
+                    name,
+                    measurements.latencies(name)[start:stop],
+                    measurements.energies(name)[start:stop],
+                )
+                written += 1
+        return written
+
+    # ------------------------------------------------------------------ #
+    # Read-only access (the service path)
+    # ------------------------------------------------------------------ #
+    def load(
+        self,
+        dataset: NASBenchDataset,
+        configs: Iterable[AcceleratorConfig | str] | None = None,
+    ) -> MeasurementSet:
+        """Assemble the measurement set of *dataset* × *configs* from disk.
+
+        Never simulates: raises :class:`ServiceError` naming the missing
+        (shard, configuration) pairs when the store is not warm.
+        """
+        config_names = self._config_names(configs)
+        total = len(dataset)
+        latencies = {name: np.empty(total, dtype=float) for name in config_names}
+        energies = {name: np.full(total, np.nan, dtype=float) for name in config_names}
+        ranges = self.shard_ranges(total)
+        missing: list[tuple[int, str]] = []
+        for shard_index, (start, stop) in enumerate(ranges):
+            shard_prints = [
+                record.fingerprint for record in dataset.records[start:stop]
+            ]
+            for name in config_names:
+                pair = self._load_pair(shard_prints, name)
+                if pair is None:
+                    missing.append((shard_index, name))
+                    continue
+                latencies[name][start:stop] = pair[0]
+                energies[name][start:stop] = pair[1]
+                self.stats.pairs_loaded += 1
+                self.stats.models_loaded += stop - start
+        if missing:
+            shown = ", ".join(f"(shard {i}, {name})" for i, name in missing[:5])
+            raise ServiceError(
+                f"measurement store at {self.root} is missing "
+                f"{len(missing)} of {len(ranges) * len(config_names)} "
+                f"(shard, configuration) pairs (e.g. {shown}); run "
+                "MeasurementStore.extend() to simulate them"
+            )
+        return MeasurementSet(dataset, latencies, energies)
+
+    def missing_pairs(
+        self,
+        dataset: NASBenchDataset,
+        configs: Iterable[AcceleratorConfig | str] | None = None,
+    ) -> list[tuple[int, str]]:
+        """The ``(shard_index, config_name)`` pairs not yet on disk.
+
+        A pure query — no stats are counted and nothing is simulated.
+        """
+        config_names = self._config_names(configs)
+        missing = []
+        for shard_index, (start, stop) in enumerate(self.shard_ranges(len(dataset))):
+            shard_prints = [
+                record.fingerprint for record in dataset.records[start:stop]
+            ]
+            for name in config_names:
+                if self._load_pair(shard_prints, name) is None:
+                    missing.append((shard_index, name))
+        return missing
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _extend_parallel(
+        self,
+        dataset: NASBenchDataset,
+        config_list: Sequence[AcceleratorConfig],
+        ranges: Sequence[tuple[int, int]],
+        prints: Sequence[list[str]],
+        latencies: dict[str, np.ndarray],
+        energies: dict[str, np.ndarray],
+        n_jobs: int,
+        progress_callback: Callable[[str, int, int], None] | None,
+    ) -> None:
+        """Load hits, then simulate the missing shards on a process pool.
+
+        Completed shards are persisted as their futures resolve, so an
+        interrupted parallel sweep also resumes incrementally.
+        """
+        total = len(dataset)
+        done = {c.name: 0 for c in config_list}
+        missing_by_shard: dict[int, list[AcceleratorConfig]] = {}
+        for shard_index, ((start, stop), shard_prints) in enumerate(zip(ranges, prints)):
+            for config in config_list:
+                pair = self._load_pair(shard_prints, config.name)
+                if pair is None:
+                    missing_by_shard.setdefault(shard_index, []).append(config)
+                    continue
+                latencies[config.name][start:stop] = pair[0]
+                energies[config.name][start:stop] = pair[1]
+                self.stats.pairs_loaded += 1
+                self.stats.models_loaded += stop - start
+                done[config.name] += stop - start
+        if progress_callback is not None:
+            # Report the warm coverage up front; simulated shards tick below.
+            for config in config_list:
+                if done[config.name]:
+                    progress_callback(config.name, done[config.name], total)
+        if not missing_by_shard:
+            return
+        cells = [record.cell for record in dataset]
+        with ProcessPoolExecutor(
+            max_workers=min(n_jobs, len(missing_by_shard))
+        ) as pool:
+            futures = {
+                pool.submit(
+                    _sweep_shard,
+                    cells[ranges[shard_index][0] : ranges[shard_index][1]],
+                    dataset.network_config,
+                    tuple(missing),
+                    self.enable_parameter_caching,
+                ): shard_index
+                for shard_index, missing in missing_by_shard.items()
+            }
+            for future in as_completed(futures):
+                shard_index = futures[future]
+                start, stop = ranges[shard_index]
+                for name, (latency, energy) in future.result().items():
+                    self._save_pair(prints[shard_index], name, latency, energy)
+                    latencies[name][start:stop] = latency
+                    energies[name][start:stop] = energy
+                    self.stats.pairs_simulated += 1
+                    self.stats.models_simulated += stop - start
+                    done[name] += stop - start
+                    if progress_callback is not None:
+                        progress_callback(name, done[name], total)
+
+    def _load_pair(
+        self, fingerprints: Sequence[str], config_name: str
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Load one verified (shard, configuration) pair, or ``None``."""
+        key = self.shard_key(fingerprints, config_name)
+        stored = read_npz(self.shard_path(config_name, key))
+        if stored is None:
+            return None
+        expected = np.asarray(fingerprints)
+        if not np.array_equal(stored.get("fingerprints"), expected):
+            return None
+        latency = stored.get("latency")
+        energy = stored.get("energy")
+        if latency is None or energy is None:
+            return None
+        if len(latency) != len(expected) or len(energy) != len(expected):
+            return None
+        return np.asarray(latency, dtype=float), np.asarray(energy, dtype=float)
+
+    def _save_pair(
+        self,
+        fingerprints: Sequence[str],
+        config_name: str,
+        latency: np.ndarray,
+        energy: np.ndarray,
+    ) -> Path:
+        key = self.shard_key(fingerprints, config_name)
+        return write_npz(
+            self.shard_path(config_name, key),
+            {
+                "fingerprints": np.asarray(fingerprints),
+                "latency": np.asarray(latency, dtype=float),
+                "energy": np.asarray(energy, dtype=float),
+            },
+        )
+
+    @staticmethod
+    def _config_objects(
+        configs: Iterable[AcceleratorConfig | str] | None,
+    ) -> list[AcceleratorConfig]:
+        """Resolve the configurations to simulate (names via ``get_config``)."""
+        if configs is None:
+            return list(STUDIED_CONFIGS.values())
+        resolved = [
+            config if isinstance(config, AcceleratorConfig) else get_config(str(config))
+            for config in configs
+        ]
+        if not resolved:
+            raise ServiceError("no accelerator configurations were provided")
+        return resolved
+
+    @staticmethod
+    def _config_names(
+        configs: Iterable[AcceleratorConfig | str] | None,
+    ) -> list[str]:
+        """Resolve configuration *names* (read paths never need the objects)."""
+        if configs is None:
+            return [config.name for config in STUDIED_CONFIGS.values()]
+        names = [
+            config.name if isinstance(config, AcceleratorConfig) else str(config)
+            for config in configs
+        ]
+        if not names:
+            raise ServiceError("no accelerator configurations were provided")
+        return names

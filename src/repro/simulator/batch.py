@@ -22,8 +22,8 @@ simulates only its slice of the population).
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -37,6 +37,9 @@ from ..nasbench.layer_table import LayerTable
 from ..nasbench.network import NetworkConfig, NetworkSpec, build_network
 from .energy import layer_energy_table, static_energy_mj
 from .latency import cycles_to_milliseconds, model_latency_cycles_table, time_layer_table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..service.store import MeasurementStore
 
 
 class BatchSimulator:
@@ -61,12 +64,21 @@ class BatchSimulator:
         configs: Iterable[AcceleratorConfig] | None = None,
         n_jobs: int = 1,
         progress_callback: Callable[[str, int, int], None] | None = None,
+        store: "MeasurementStore | None" = None,
     ):
         """Simulate every model of *dataset* on every configuration.
 
         Returns the same :class:`~repro.simulator.runner.MeasurementSet` as
         the scalar sweep.  With ``n_jobs > 1`` the population is sharded over
-        model ranges and evaluated by a process pool.
+        model ranges and evaluated by a process pool; *progress_callback* is
+        invoked per shard as worker futures resolve, so long sweeps report
+        live progress instead of one burst at the end.
+
+        With *store* set, the sweep goes through a resumable
+        :class:`~repro.service.store.MeasurementStore`: shards already on
+        disk are loaded, only the missing (shard, configuration) pairs are
+        simulated, and every completed shard is persisted immediately (an
+        interrupted sweep resumes where it stopped).
         """
         from .runner import MeasurementSet  # deferred: runner re-exports us
 
@@ -75,6 +87,20 @@ class BatchSimulator:
         )
         if not config_list:
             raise SimulationError("no accelerator configurations were provided")
+        if store is not None:
+            if store.enable_parameter_caching != self.enable_parameter_caching:
+                raise SimulationError(
+                    "measurement store and simulator disagree on parameter "
+                    f"caching (store={store.enable_parameter_caching}, "
+                    f"simulator={self.enable_parameter_caching}); shard keys "
+                    "would not match the simulated results"
+                )
+            return store.extend(
+                dataset,
+                configs=config_list,
+                n_jobs=n_jobs,
+                progress_callback=progress_callback,
+            )
         total = len(dataset)
 
         if total == 0:
@@ -82,10 +108,12 @@ class BatchSimulator:
             return MeasurementSet(
                 dataset,
                 {config.name: np.empty(0, dtype=float) for config in config_list},
-                {config.name: np.empty(0, dtype=float) for config in config_list},
+                {config.name: np.full(0, np.nan, dtype=float) for config in config_list},
             )
         if n_jobs > 1:
-            latencies, energies = self._evaluate_sharded(dataset, config_list, n_jobs)
+            latencies, energies = self._evaluate_sharded(
+                dataset, config_list, n_jobs, progress_callback
+            )
         else:
             networks = [record.build_network(dataset.network_config) for record in dataset]
             table = LayerTable.from_networks(networks)
@@ -96,9 +124,6 @@ class BatchSimulator:
                 )
                 if progress_callback is not None:
                     progress_callback(config.name, total, total)
-        if progress_callback is not None and n_jobs > 1:
-            for config in config_list:
-                progress_callback(config.name, total, total)
         return MeasurementSet(dataset, latencies, energies)
 
     def evaluate_networks(
@@ -155,36 +180,47 @@ class BatchSimulator:
         dataset: NASBenchDataset,
         config_list: Sequence[AcceleratorConfig],
         n_jobs: int,
+        progress_callback: Callable[[str, int, int], None] | None = None,
     ) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
-        """Shard the population over model ranges and merge the results."""
+        """Shard the population over model ranges and merge the results.
+
+        Shard results are written into the output arrays as their futures
+        resolve (:func:`~concurrent.futures.as_completed`), and
+        *progress_callback* fires per completed shard with cumulative
+        per-configuration counts — progress is live, not a single burst after
+        the whole pool drains.
+        """
+        total = len(dataset)
         shards = [
             chunk
-            for chunk in np.array_split(np.arange(len(dataset)), n_jobs)
+            for chunk in np.array_split(np.arange(total), n_jobs)
             if chunk.size
         ]
         cells = [record.cell for record in dataset]
+        latencies = {config.name: np.empty(total, dtype=float) for config in config_list}
+        energies = {config.name: np.full(total, np.nan, dtype=float) for config in config_list}
+        done = {config.name: 0 for config in config_list}
         with ProcessPoolExecutor(max_workers=len(shards)) as pool:
-            futures = [
+            futures = {
                 pool.submit(
                     _sweep_shard,
                     [cells[i] for i in chunk],
                     dataset.network_config,
                     tuple(config_list),
                     self.enable_parameter_caching,
-                )
+                ): chunk
                 for chunk in shards
-            ]
-            shard_results = [future.result() for future in futures]
-
-        latencies: dict[str, np.ndarray] = {}
-        energies: dict[str, np.ndarray] = {}
-        for config in config_list:
-            latencies[config.name] = np.concatenate(
-                [result[config.name][0] for result in shard_results]
-            )
-            energies[config.name] = np.concatenate(
-                [result[config.name][1] for result in shard_results]
-            )
+            }
+            for future in as_completed(futures):
+                chunk = futures[future]
+                result = future.result()
+                for config in config_list:
+                    shard_latency, shard_energy = result[config.name]
+                    latencies[config.name][chunk] = shard_latency
+                    energies[config.name][chunk] = shard_energy
+                    done[config.name] += int(chunk.size)
+                    if progress_callback is not None:
+                        progress_callback(config.name, done[config.name], total)
         return latencies, energies
 
 

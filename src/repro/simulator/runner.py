@@ -51,12 +51,19 @@ class MeasurementSet:
         self._dataset = dataset
         self._latencies = {name: np.asarray(values, dtype=float) for name, values in latencies_ms.items()}
         self._energies = {name: np.asarray(values, dtype=float) for name, values in energies_mj.items()}
-        for name, values in self._latencies.items():
-            if len(values) != len(dataset):
-                raise SimulationError(
-                    f"latency array for {name} has {len(values)} entries for "
-                    f"{len(dataset)} models"
-                )
+        if set(self._latencies) != set(self._energies):
+            raise SimulationError(
+                "latency and energy arrays cover different configurations: "
+                f"{sorted(set(self._latencies) ^ set(self._energies))} "
+                "(configurations without an energy model must pass NaN arrays)"
+            )
+        for kind, arrays in (("latency", self._latencies), ("energy", self._energies)):
+            for name, values in arrays.items():
+                if len(values) != len(dataset):
+                    raise SimulationError(
+                        f"{kind} array for {name} has {len(values)} entries for "
+                        f"{len(dataset)} models"
+                    )
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -158,6 +165,7 @@ def evaluate_dataset(
     progress_callback: Callable[[str, int, int], None] | None = None,
     strategy: str = "vectorized",
     n_jobs: int = 1,
+    store=None,
 ) -> MeasurementSet:
     """Simulate every model of *dataset* on every configuration.
 
@@ -171,8 +179,11 @@ def evaluate_dataset(
     enable_parameter_caching:
         Forwarded to the simulator; the paper's results have it enabled.
     progress_callback:
-        Optional ``callback(config_name, done, total)`` hook for long sweeps
-        (the vectorized engine reports once per completed configuration).
+        Optional ``callback(config_name, done, total)`` hook for long sweeps.
+        The scalar walk ticks every 500 models plus a guaranteed final
+        ``(total, total)`` tick; the vectorized engine reports once per
+        completed configuration, or per shard when sharded (``n_jobs > 1``
+        or a *store*).
     strategy:
         ``"vectorized"`` (default) dispatches to the structure-of-arrays
         :class:`~repro.simulator.batch.BatchSimulator`; ``"scalar"`` walks the
@@ -182,6 +193,11 @@ def evaluate_dataset(
     n_jobs:
         Number of worker processes sharding the vectorized sweep over model
         ranges (ignored by the scalar strategy).
+    store:
+        Optional :class:`~repro.service.store.MeasurementStore` making the
+        vectorized sweep resumable: shards already on disk are loaded and
+        only missing (shard, configuration) pairs are simulated (rejected by
+        the scalar strategy).
     """
     if strategy == "vectorized":
         from .batch import BatchSimulator  # deferred: batch imports MeasurementSet
@@ -191,10 +207,16 @@ def evaluate_dataset(
             configs=configs,
             n_jobs=n_jobs,
             progress_callback=progress_callback,
+            store=store,
         )
     if strategy != "scalar":
         raise SimulationError(
             f"unknown sweep strategy {strategy!r}; expected 'vectorized' or 'scalar'"
+        )
+    if store is not None:
+        raise SimulationError(
+            "the scalar sweep strategy does not support a measurement store; "
+            "use strategy='vectorized'"
         )
 
     config_list: Sequence[AcceleratorConfig] = (
@@ -224,6 +246,10 @@ def evaluate_dataset(
                 energy_array[index] = result.energy_mj
             if progress_callback is not None and (index + 1) % 500 == 0:
                 progress_callback(config.name, index + 1, total)
+        # The 500-model cadence alone would skip the completion tick whenever
+        # the population size is not a multiple of 500.
+        if progress_callback is not None and total % 500 != 0:
+            progress_callback(config.name, total, total)
         latencies[config.name] = latency_array
         energies[config.name] = energy_array
 

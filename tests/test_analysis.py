@@ -22,6 +22,8 @@ from repro.analysis import (
     latency_parameter_correlation,
     operation_count_vs_latency,
     operation_swap_matrix,
+    pareto_front_indices,
+    pareto_front_mask,
     parameters_by_depth,
     parameters_vs_latency,
     summarize_all,
@@ -187,6 +189,98 @@ class TestPareto:
     def test_topk_requires_positive_k(self, measurements):
         with pytest.raises(DatasetError):
             top_models_by_accuracy(measurements, k=0)
+
+
+class TestParetoFrontMask:
+    def test_simple_frontier(self):
+        latencies = np.array([1.0, 2.0, 3.0, 4.0])
+        accuracies = np.array([0.5, 0.7, 0.6, 0.8])
+        mask = pareto_front_mask(latencies, accuracies)
+        assert mask.tolist() == [True, True, False, True]
+
+    def test_latency_tie_keeps_only_most_accurate(self):
+        # Regression: a dominated equal-latency point used to survive when it
+        # appeared before the better point in input order.
+        latencies = np.array([2.0, 2.0, 3.0])
+        accuracies = np.array([0.6, 0.9, 0.95])
+        mask = pareto_front_mask(latencies, accuracies)
+        assert mask.tolist() == [False, True, True]
+        # ... and regardless of input order.
+        mask_reversed = pareto_front_mask(latencies[::-1].copy(), accuracies[::-1].copy())
+        assert mask_reversed.tolist() == [True, True, False]
+
+    def test_exact_duplicates_keep_first_occurrence(self):
+        latencies = np.array([1.0, 1.0, 2.0])
+        accuracies = np.array([0.8, 0.8, 0.9])
+        mask = pareto_front_mask(latencies, accuracies)
+        assert mask.tolist() == [True, False, True]
+
+    def test_all_tied_latency_single_survivor(self):
+        latencies = np.full(5, 3.0)
+        accuracies = np.array([0.1, 0.5, 0.9, 0.4, 0.2])
+        mask = pareto_front_mask(latencies, accuracies)
+        assert mask.tolist() == [False, False, True, False, False]
+
+    def test_empty_and_shape_validation(self):
+        assert pareto_front_mask(np.zeros(0), np.zeros(0)).tolist() == []
+        with pytest.raises(DatasetError):
+            pareto_front_mask(np.zeros(3), np.zeros(4))
+        with pytest.raises(DatasetError):
+            pareto_front_mask(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_front_never_contains_dominated_pairs(self, measurements):
+        latencies = measurements.latencies("V2")
+        accuracies = measurements.dataset.accuracies()
+        front_latency = latencies[pareto_front_mask(latencies, accuracies)]
+        front_accuracy = accuracies[pareto_front_mask(latencies, accuracies)]
+        for i in range(len(front_latency)):
+            dominated = (
+                (front_latency <= front_latency[i])
+                & (front_accuracy >= front_accuracy[i])
+                & ((front_latency < front_latency[i]) | (front_accuracy > front_accuracy[i]))
+            )
+            assert not dominated.any()
+
+    def test_pareto_front_indices_sorted_by_latency(self, measurements):
+        indices = pareto_front_indices(measurements, "V1")
+        frontier = latency_accuracy_frontier(measurements, "V1")
+        assert [point.model_index for point in frontier] == list(indices)
+        latencies = measurements.latencies("V1")[indices]
+        assert latencies.tolist() == sorted(latencies.tolist())
+
+
+class TestMeasurementSubsetRoundTrip:
+    """mask/records/latencies of a subset stay aligned with the parent set."""
+
+    def test_subset_alignment(self, measurements):
+        mask = measurements.accuracy_mask(0.70)
+        subset = measurements.subset(mask)
+        records = subset.records()
+        assert subset.size == len(records) == int(mask.sum())
+        assert np.array_equal(subset.mask, mask)
+        for name in measurements.config_names:
+            latencies = subset.latencies(name)
+            energies = subset.energies(name)
+            assert len(latencies) == subset.size == len(energies)
+            for position, record in enumerate(records):
+                assert latencies[position] == measurements.latencies(name)[record.index]
+                np.testing.assert_equal(
+                    energies[position], measurements.energies(name)[record.index]
+                )
+        accuracies = subset.accuracies()
+        for position, record in enumerate(records):
+            assert accuracies[position] == record.mean_validation_accuracy
+            assert record.mean_validation_accuracy >= 0.70
+
+    def test_empty_and_full_masks(self, measurements):
+        total = len(measurements.dataset)
+        empty = measurements.subset(np.zeros(total, dtype=bool))
+        assert empty.size == 0 and empty.records() == []
+        full = measurements.subset(np.ones(total, dtype=bool))
+        assert full.size == total
+        np.testing.assert_array_equal(
+            full.latencies("V1"), measurements.latencies("V1")
+        )
 
 
 class TestSwaps:

@@ -152,6 +152,22 @@ class TestExperimentCache:
         assert cache.load_model_state("nope") is None
         assert cache.stats.model_misses == 1
 
+    def test_parameter_caching_mode_keys_measurement_artifacts(
+        self, pipeline_cache_dir, measurements
+    ):
+        # Shard keys embed the compiler mode: measurements saved under one
+        # mode are invisible to the other instead of silently mislabeled.
+        cache = ExperimentCache(pipeline_cache_dir)
+        cache.save_measurements("key", measurements, enable_parameter_caching=False)
+        assert (
+            cache.load_measurements("key", measurements.dataset) is None
+        )  # default True mode
+        loaded = cache.load_measurements(
+            "key", measurements.dataset, enable_parameter_caching=False
+        )
+        assert loaded is not None
+        assert np.array_equal(loaded.latencies("V1"), measurements.latencies("V1"))
+
     def test_corrupt_artifacts_degrade_to_misses(self, pipeline_cache_dir):
         experiment = small_experiment()
         run_experiment(experiment, cache_dir=pipeline_cache_dir)

@@ -1,0 +1,312 @@
+"""Tests of the resumable measurement store and the sweep query service."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TrainingSettings
+from repro.errors import DatasetError, ServiceError, SimulationError
+from repro.nasbench import NASBenchDataset, sample_unique_cells
+from repro.service import MeasurementStore, SweepService
+from repro.simulator import BatchSimulator, evaluate_dataset
+
+SHARD = 16
+CONFIGS = ("V1", "V2", "V3")
+
+
+@pytest.fixture(scope="module")
+def store_dataset():
+    """A population of 60 models → four shards of 16/16/16/12 at SHARD=16."""
+    return NASBenchDataset.generate(num_models=60, seed=31)
+
+
+@pytest.fixture(scope="module")
+def direct_measurements(store_dataset):
+    """Reference sweep straight through the batch engine (no store)."""
+    return BatchSimulator().evaluate(store_dataset)
+
+
+def make_store(root, **overrides) -> MeasurementStore:
+    options = dict(shard_size=SHARD)
+    options.update(overrides)
+    return MeasurementStore(root, **options)
+
+
+def assert_matches_reference(measurements, reference, configs=CONFIGS):
+    for name in configs:
+        np.testing.assert_allclose(
+            measurements.latencies(name), reference.latencies(name), rtol=1e-9
+        )
+        np.testing.assert_allclose(
+            measurements.energies(name), reference.energies(name), rtol=1e-9
+        )
+
+
+class TestMeasurementStore:
+    def test_cold_sweep_simulates_every_pair(
+        self, tmp_path, store_dataset, direct_measurements
+    ):
+        store = make_store(tmp_path)
+        measurements = store.sweep(store_dataset, configs=CONFIGS)
+        n_shards = len(store.shard_ranges(len(store_dataset)))
+        assert n_shards == 4
+        assert store.stats.pairs_simulated == n_shards * len(CONFIGS)
+        assert store.stats.pairs_loaded == 0
+        assert store.stats.models_simulated == len(store_dataset) * len(CONFIGS)
+        assert_matches_reference(measurements, direct_measurements)
+
+    def test_warm_store_serves_without_simulation(
+        self, tmp_path, store_dataset, direct_measurements
+    ):
+        make_store(tmp_path).sweep(store_dataset, configs=CONFIGS)
+        warm = make_store(tmp_path)
+        measurements = warm.sweep(store_dataset, configs=CONFIGS)
+        assert warm.stats.pairs_simulated == 0
+        assert warm.stats.pairs_loaded == 4 * len(CONFIGS)
+        assert_matches_reference(measurements, direct_measurements)
+
+    def test_interrupted_sweep_resumes_with_exactly_missing_shards(
+        self, tmp_path, store_dataset, direct_measurements
+    ):
+        class Interrupted(Exception):
+            pass
+
+        store = make_store(tmp_path)
+        completed_shards = 0
+
+        def interrupt_after_two_shards(config_name, done, total):
+            nonlocal completed_shards
+            if config_name == CONFIGS[-1]:  # last config of the shard ticked
+                completed_shards += 1
+                if completed_shards == 2:
+                    raise Interrupted
+
+        with pytest.raises(Interrupted):
+            store.sweep(
+                store_dataset, configs=CONFIGS,
+                progress_callback=interrupt_after_two_shards,
+            )
+        assert store.stats.pairs_simulated == 2 * len(CONFIGS)
+
+        # The acceptance criterion: k of n shards done, the re-run completes
+        # with exactly (n - k) shard simulations per configuration.
+        resumed = make_store(tmp_path)
+        measurements = resumed.sweep(store_dataset, configs=CONFIGS)
+        assert resumed.stats.pairs_simulated == (4 - 2) * len(CONFIGS)
+        assert resumed.stats.pairs_loaded == 2 * len(CONFIGS)
+        assert_matches_reference(measurements, direct_measurements)
+
+    def test_extend_with_new_config_simulates_only_that_config(
+        self, tmp_path, store_dataset, direct_measurements
+    ):
+        make_store(tmp_path).sweep(store_dataset, configs=("V1",))
+        store = make_store(tmp_path)
+        measurements = store.extend(store_dataset, configs=("V1", "V2"))
+        assert store.stats.pairs_loaded == 4  # every V1 shard
+        assert store.stats.pairs_simulated == 4  # every V2 shard
+        assert_matches_reference(measurements, direct_measurements, configs=("V1", "V2"))
+
+    def test_extend_with_new_cells_keeps_full_prefix_shards(
+        self, tmp_path, store_dataset, direct_measurements
+    ):
+        # Shards are keyed by cell-fingerprint content, so sweeping a prefix
+        # population produces exactly the files the grown population reuses.
+        prefix = NASBenchDataset(
+            store_dataset.records[: 2 * SHARD], store_dataset.network_config
+        )
+        make_store(tmp_path).sweep(prefix, configs=("V1",))
+        store = make_store(tmp_path)
+        measurements = store.extend(store_dataset, configs=("V1",))
+        assert store.stats.pairs_loaded == 2
+        assert store.stats.pairs_simulated == 2
+        np.testing.assert_allclose(
+            measurements.latencies("V1"), direct_measurements.latencies("V1"), rtol=1e-9
+        )
+
+    def test_parallel_extend_matches_and_persists(
+        self, tmp_path, store_dataset, direct_measurements
+    ):
+        store = make_store(tmp_path)
+        ticks = []
+        measurements = store.extend(
+            store_dataset, configs=CONFIGS, n_jobs=2,
+            progress_callback=lambda name, done, total: ticks.append((name, done, total)),
+        )
+        assert store.stats.pairs_simulated == 4 * len(CONFIGS)
+        assert_matches_reference(measurements, direct_measurements)
+        for name in CONFIGS:
+            counts = [done for tick_name, done, _ in ticks if tick_name == name]
+            assert counts == sorted(counts)
+            assert counts[-1] == len(store_dataset)
+        # ... and a second parallel run is pure loading.
+        warm = make_store(tmp_path)
+        warm.extend(store_dataset, configs=CONFIGS, n_jobs=2)
+        assert warm.stats.pairs_simulated == 0
+
+    def test_load_refuses_cold_store(self, tmp_path, store_dataset):
+        with pytest.raises(ServiceError, match="missing"):
+            make_store(tmp_path).load(store_dataset, configs=CONFIGS)
+
+    def test_missing_pairs_and_available_configs(self, tmp_path, store_dataset):
+        store = make_store(tmp_path)
+        assert store.available_configs() == []
+        assert len(store.missing_pairs(store_dataset, configs=CONFIGS)) == 4 * 3
+        store.sweep(store_dataset, configs=("V2",))
+        assert store.available_configs() == ["V2"]
+        missing = store.missing_pairs(store_dataset, configs=CONFIGS)
+        assert len(missing) == 8
+        assert all(name in ("V1", "V3") for _, name in missing)
+
+    def test_corrupt_shard_degrades_to_resimulation(self, tmp_path, store_dataset):
+        make_store(tmp_path).sweep(store_dataset, configs=("V1",))
+        victim = sorted(tmp_path.glob("shard-V1-*.npz"))[0]
+        victim.write_bytes(victim.read_bytes()[:40])
+        store = make_store(tmp_path)
+        store.sweep(store_dataset, configs=("V1",))
+        assert store.stats.pairs_simulated == 1
+        assert store.stats.pairs_loaded == 3
+
+    def test_parameter_caching_mode_is_part_of_the_key(self, tmp_path, store_dataset):
+        make_store(tmp_path).sweep(store_dataset, configs=("V1",))
+        other_mode = make_store(tmp_path, enable_parameter_caching=False)
+        other_mode.sweep(store_dataset, configs=("V1",))
+        assert other_mode.stats.pairs_loaded == 0
+        assert other_mode.stats.pairs_simulated == 4
+
+    def test_store_simulator_mode_mismatch_rejected(self, tmp_path, store_dataset):
+        store = make_store(tmp_path, enable_parameter_caching=False)
+        with pytest.raises(SimulationError, match="parameter"):
+            BatchSimulator(enable_parameter_caching=True).evaluate(
+                store_dataset, store=store
+            )
+        with pytest.raises(ServiceError, match="parameter"):
+            MeasurementStore(
+                tmp_path,
+                enable_parameter_caching=True,
+                simulator=BatchSimulator(enable_parameter_caching=False),
+            )
+
+    def test_invalid_arguments_rejected(self, tmp_path, store_dataset):
+        with pytest.raises(ServiceError):
+            MeasurementStore(tmp_path, shard_size=0)
+        with pytest.raises(ServiceError):
+            make_store(tmp_path).sweep(store_dataset, configs=())
+        with pytest.raises(SimulationError, match="scalar"):
+            evaluate_dataset(
+                store_dataset, strategy="scalar", store=make_store(tmp_path)
+            )
+
+    def test_evaluate_dataset_store_passthrough(
+        self, tmp_path, store_dataset, direct_measurements
+    ):
+        store = make_store(tmp_path)
+        measurements = evaluate_dataset(store_dataset, store=store)
+        assert store.stats.pairs_simulated == 4 * len(CONFIGS)
+        assert_matches_reference(measurements, direct_measurements)
+
+
+class TestSweepService:
+    @pytest.fixture()
+    def warm_root(self, tmp_path, store_dataset):
+        make_store(tmp_path).sweep(store_dataset, configs=CONFIGS)
+        return tmp_path
+
+    @pytest.fixture()
+    def no_simulation(self, monkeypatch):
+        """Any BatchSimulator kernel invocation fails the test."""
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("SweepService must not invoke the simulator")
+
+        monkeypatch.setattr(BatchSimulator, "evaluate", forbidden)
+        monkeypatch.setattr(BatchSimulator, "evaluate_table", forbidden)
+
+    def test_queries_answered_from_disk_without_simulation(
+        self, warm_root, store_dataset, direct_measurements, no_simulation
+    ):
+        service = SweepService(
+            make_store(warm_root), store_dataset, configs=CONFIGS
+        )
+        assert service.config_names == list(CONFIGS)
+
+        top = service.top_k(3)
+        expected = store_dataset.top_k_by_accuracy(3)
+        assert [entry.record.fingerprint for entry in top] == [
+            record.fingerprint for record in expected
+        ]
+
+        front = service.pareto_front("V1")
+        assert front, "frontier should not be empty"
+        latencies = [point.latency_ms for point in front]
+        accuracies = [point.accuracy for point in front]
+        assert latencies == sorted(latencies)
+        assert accuracies == sorted(accuracies)
+        indices = service.pareto_front_indices("V1")
+        assert [point.model_index for point in front] == list(indices)
+
+        record = expected[0]
+        assert service.latency_of(record.fingerprint, "V2") == pytest.approx(
+            direct_measurements.latency_of(record, "V2")
+        )
+        assert service.energy_of(record.fingerprint, "V1") == pytest.approx(
+            direct_measurements.energy_of(record, "V1")
+        )
+        assert service.energy_of(record.fingerprint, "V3") is None
+
+    def test_unknown_fingerprint_and_config_raise(
+        self, warm_root, store_dataset, no_simulation
+    ):
+        service = SweepService(make_store(warm_root), store_dataset, configs=CONFIGS)
+        with pytest.raises(DatasetError):
+            service.latency_of("not-a-fingerprint", "V1")
+        with pytest.raises(ServiceError, match="not served"):
+            service.latency_of(store_dataset[0].fingerprint, "V9")
+
+    def test_cold_store_is_an_error_not_a_sweep(
+        self, tmp_path, store_dataset, no_simulation
+    ):
+        with pytest.raises(ServiceError, match="missing"):
+            SweepService(make_store(tmp_path), store_dataset, configs=CONFIGS)
+
+    def test_predictions_for_unseen_cells_are_cached_on_disk(
+        self, warm_root, store_dataset, monkeypatch
+    ):
+        settings = TrainingSettings(epochs=2, seed=0)
+        service = SweepService(
+            make_store(warm_root), store_dataset, configs=CONFIGS, settings=settings
+        )
+        unseen = sample_unique_cells(3, seed=9001)
+        first = service.predict(unseen, "V1")
+        assert first.shape == (3,)
+        assert np.isfinite(first).all()
+        assert service.model_state_path("V1").exists()
+
+        # A fresh service over the same store must restore, never refit.
+        from repro.core.predictor import LearnedPerformanceModel
+
+        def no_refit(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("cached weights should have been restored")
+
+        monkeypatch.setattr(LearnedPerformanceModel, "fit_table", no_refit)
+        restored = SweepService(
+            make_store(warm_root), store_dataset, configs=CONFIGS, settings=settings
+        )
+        np.testing.assert_allclose(restored.predict(unseen, "V1"), first)
+        assert restored.predict_cell(unseen[0], "V1") == pytest.approx(first[0])
+
+    def test_model_cache_does_not_pollute_shard_namespace(
+        self, warm_root, store_dataset
+    ):
+        # Regression: cached weights used to land next to the shard files and
+        # match the shard filename pattern, surfacing a phantom "model"
+        # configuration that poisoned available_configs()-driven loads.
+        service = SweepService(
+            make_store(warm_root), store_dataset, configs=CONFIGS,
+            settings=TrainingSettings(epochs=2, seed=0),
+        )
+        service.predict(sample_unique_cells(2, seed=77), "V1")
+        store = make_store(warm_root)
+        assert store.available_configs() == sorted(CONFIGS)
+        loaded = store.load(store_dataset, configs=store.available_configs())
+        assert set(loaded.config_names) == set(CONFIGS)

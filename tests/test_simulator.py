@@ -185,3 +185,104 @@ class TestBatchEvaluation:
         assert (
             without_cache.latencies("V1").mean() >= with_cache.latencies("V1").mean()
         )
+
+
+class TestMeasurementSetValidation:
+    """Regression: both array dicts are validated, not just latencies."""
+
+    def _arrays(self, dataset):
+        n = len(dataset)
+        return (
+            {"V1": np.ones(n), "V2": np.ones(n)},
+            {"V1": np.ones(n), "V2": np.full(n, np.nan)},
+        )
+
+    def test_consistent_arrays_accepted(self, dataset):
+        latencies, energies = self._arrays(dataset)
+        measurements = MeasurementSet(dataset, latencies, energies)
+        assert set(measurements.config_names) == {"V1", "V2"}
+
+    def test_mismatched_latency_length_rejected(self, dataset):
+        latencies, energies = self._arrays(dataset)
+        latencies["V1"] = latencies["V1"][:-1]
+        with pytest.raises(SimulationError, match="latency array for V1"):
+            MeasurementSet(dataset, latencies, energies)
+
+    def test_mismatched_energy_length_rejected(self, dataset):
+        # Previously passed silently and exploded later during masking.
+        latencies, energies = self._arrays(dataset)
+        energies["V2"] = energies["V2"][:-1]
+        with pytest.raises(SimulationError, match="energy array for V2"):
+            MeasurementSet(dataset, latencies, energies)
+
+    def test_missing_energy_config_rejected(self, dataset):
+        latencies, energies = self._arrays(dataset)
+        del energies["V2"]
+        with pytest.raises(SimulationError, match="different configurations"):
+            MeasurementSet(dataset, latencies, energies)
+
+    def test_extra_energy_config_rejected(self, dataset):
+        latencies, energies = self._arrays(dataset)
+        energies["V3"] = np.full(len(dataset), np.nan)
+        with pytest.raises(SimulationError, match="different configurations"):
+            MeasurementSet(dataset, latencies, energies)
+
+
+class RecordingCallback:
+    """Collects ``(config_name, done, total)`` progress ticks."""
+
+    def __init__(self):
+        self.ticks = []
+
+    def __call__(self, config_name, done, total):
+        self.ticks.append((config_name, done, total))
+
+    def per_config(self, config_name):
+        return [done for name, done, _ in self.ticks if name == config_name]
+
+
+class TestProgressReporting:
+    @pytest.fixture(scope="class")
+    def tiny(self):
+        return NASBenchDataset.generate(num_models=12, seed=6)
+
+    def test_scalar_strategy_emits_final_tick(self, tiny):
+        # Regression: with total % 500 != 0 the scalar walk previously never
+        # reported completion at all for small populations.
+        recorder = RecordingCallback()
+        evaluate_dataset(
+            tiny, configs=[EDGE_TPU_V1, EDGE_TPU_V2],
+            strategy="scalar", progress_callback=recorder,
+        )
+        assert recorder.ticks == [("V1", 12, 12), ("V2", 12, 12)]
+
+    def test_vectorized_strategy_emits_final_tick(self, tiny):
+        recorder = RecordingCallback()
+        evaluate_dataset(
+            tiny, configs=[EDGE_TPU_V1], strategy="vectorized",
+            progress_callback=recorder,
+        )
+        assert recorder.ticks == [("V1", 12, 12)]
+
+    def test_scalar_and_vectorized_agree_on_completion(self, tiny):
+        scalar, vectorized = RecordingCallback(), RecordingCallback()
+        evaluate_dataset(tiny, configs=[EDGE_TPU_V1], strategy="scalar",
+                         progress_callback=scalar)
+        evaluate_dataset(tiny, configs=[EDGE_TPU_V1], strategy="vectorized",
+                         progress_callback=vectorized)
+        assert scalar.ticks[-1] == vectorized.ticks[-1] == ("V1", 12, 12)
+
+    def test_sharded_sweep_reports_per_shard(self, tiny):
+        # Regression: n_jobs > 1 previously fired every tick only after all
+        # shards had completed; now each resolving future ticks.
+        recorder = RecordingCallback()
+        evaluate_dataset(
+            tiny, configs=[EDGE_TPU_V1, EDGE_TPU_V3], n_jobs=3,
+            progress_callback=recorder,
+        )
+        for name in ("V1", "V3"):
+            counts = recorder.per_config(name)
+            assert len(counts) == 3  # one tick per shard
+            assert counts == sorted(counts)
+            assert counts[-1] == 12
+            assert counts[0] < 12  # progress was reported before the end
