@@ -1,0 +1,108 @@
+"""Search sample-efficiency: evolution and predictor vs random at fixed budget.
+
+Every strategy gets the identical simulation budget (population x
+generations models), the identical seed and the identical accuracy floor;
+what differs is only how the next generation is proposed.  The table reports
+the best feasible latency per strategy with its per-generation trajectory,
+the frontier size and final hypervolume — the repo's first optimization
+benchmark rather than a measurement one.
+
+The tracked pytest-benchmark metric is the warm **replay** of the evolution
+search over its own measurement store (the regime a re-run of an archived
+search experiment hits: zero simulations, pure load + selection replay).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro import MeasurementStore, SearchEngine, SearchSpec
+from repro.core import TrainingSettings
+from repro.search import STRATEGIES
+
+from _reporting import report
+
+#: Models simulated per generation (population and aging-window size).
+SEARCH_POP = int(os.environ.get("REPRO_BENCH_SEARCH_POP", "16"))
+#: Number of generations (budget = POP x GENS per strategy).
+SEARCH_GENS = int(os.environ.get("REPRO_BENCH_SEARCH_GENS", "6"))
+#: Accuracy floor of the objective (0.92 keeps the problem discriminative).
+SEARCH_FLOOR = float(os.environ.get("REPRO_BENCH_SEARCH_FLOOR", "0.92"))
+#: Seed shared by all strategies.
+SEARCH_SEED = int(os.environ.get("REPRO_BENCH_SEARCH_SEED", "7"))
+
+
+def _spec(strategy: str) -> SearchSpec:
+    return SearchSpec(
+        strategy=strategy,
+        population_size=SEARCH_POP,
+        generations=SEARCH_GENS,
+        seed=SEARCH_SEED,
+        tournament_size=4,
+        pool_factor=3,
+        min_accuracy=SEARCH_FLOOR,
+        predictor_settings=TrainingSettings(epochs=4),
+    )
+
+
+def test_search_sample_efficiency(benchmark, tmp_path):
+    results = {}
+    elapsed = {}
+    for strategy in STRATEGIES:
+        store = MeasurementStore(tmp_path / strategy, shard_size=SEARCH_POP)
+        start = time.perf_counter()
+        results[strategy] = SearchEngine(_spec(strategy), store=store).run()
+        elapsed[strategy] = time.perf_counter() - start
+
+    random_best = results["random"].best_objective
+    assert results["evolution"].best_objective < random_best, (
+        "evolution found no better model than random sampling at equal budget"
+    )
+    assert results["predictor"].best_objective < random_best, (
+        "predictor guidance found no better model than random sampling at equal budget"
+    )
+
+    # Tracked metric: warm replay of the evolution search (no simulations).
+    def replay():
+        store = MeasurementStore(tmp_path / "evolution", shard_size=SEARCH_POP)
+        result = SearchEngine(_spec("evolution"), store=store).run()
+        assert store.stats.pairs_simulated == 0
+        return result
+
+    benchmark.pedantic(replay, rounds=3, iterations=1)
+
+    budget = _spec("random").simulation_budget
+    benchmark.extra_info["budget"] = budget
+    for strategy in STRATEGIES:
+        benchmark.extra_info[f"{strategy}_best_ms"] = round(
+            results[strategy].best_objective, 4
+        )
+
+    lines = [
+        "Architecture search — best feasible V1 latency at equal simulation budget",
+        f"({budget} simulations per strategy = {SEARCH_POP} models x "
+        f"{SEARCH_GENS} generations, accuracy floor {SEARCH_FLOOR}, "
+        f"seed {SEARCH_SEED})",
+        f"{'strategy':<12}{'best (ms)':>11}{'accuracy':>10}{'front':>7}"
+        f"{'hypervol':>10}{'elapsed (s)':>13}",
+    ]
+    for strategy in STRATEGIES:
+        result = results[strategy]
+        lines.append(
+            f"{strategy:<12}{result.best_objective:>11.4f}"
+            f"{result.best_accuracy:>10.4f}{len(result.archive):>7}"
+            f"{result.archive.hypervolume():>10.5f}{elapsed[strategy]:>13.3f}"
+        )
+    lines.append("")
+    lines.append("best-so-far latency (ms) per generation:")
+    header = f"{'strategy':<12}" + "".join(
+        f"{f'gen {i}':>10}" for i in range(SEARCH_GENS)
+    )
+    lines.append(header)
+    for strategy in STRATEGIES:
+        trajectory = "".join(
+            f"{row.best_objective:>10.4f}" for row in results[strategy].generations
+        )
+        lines.append(f"{strategy:<12}{trajectory}")
+    report("search_sample_efficiency", lines)

@@ -9,6 +9,7 @@ The package is organized as:
 * :mod:`repro.core` — the graph-neural-network learned performance model;
 * :mod:`repro.pipeline` — experiment orchestration (train/evaluate grids with caching);
 * :mod:`repro.service` — resumable sharded measurement store and sweep query service;
+* :mod:`repro.search` — hardware-aware architecture search (evolution / predictor-guided);
 * :mod:`repro.analysis` — the characterization study (tables and figures).
 
 The most common entry points are re-exported here.
@@ -22,6 +23,7 @@ from .arch import (
     AcceleratorConfig,
     get_config,
 )
+from .analysis import ParetoArchive
 from .core import GraphTable, LearnedPerformanceModel, TrainingSettings
 from .errors import (
     CompilationError,
@@ -31,6 +33,7 @@ from .errors import (
     ModelError,
     PipelineError,
     ReproError,
+    SearchError,
     ServiceError,
     SimulationError,
 )
@@ -41,14 +44,19 @@ from .nasbench import (
     NetworkConfig,
     build_network,
     cell_fingerprint,
+    mutate_cell,
     sample_unique_cells,
 )
 from .pipeline import (
     Experiment,
     ExperimentResult,
     PopulationSpec,
+    SearchExperiment,
+    SearchExperimentResult,
     run_experiment,
+    run_search_experiment,
 )
+from .search import SearchEngine, SearchResult, SearchSpec
 from .service import MeasurementStore, StoreStats, SweepService
 from .simulator import (
     BatchSimulator,
@@ -80,11 +88,18 @@ __all__ = [
     "ModelError",
     "NASBenchDataset",
     "NetworkConfig",
+    "ParetoArchive",
     "PerformanceSimulator",
     "PipelineError",
     "PopulationSpec",
     "ReproError",
     "STUDIED_CONFIGS",
+    "SearchEngine",
+    "SearchError",
+    "SearchExperiment",
+    "SearchExperimentResult",
+    "SearchResult",
+    "SearchSpec",
     "ServiceError",
     "SimulationError",
     "StoreStats",
@@ -94,7 +109,9 @@ __all__ = [
     "cell_fingerprint",
     "evaluate_dataset",
     "get_config",
+    "mutate_cell",
     "run_experiment",
+    "run_search_experiment",
     "sample_unique_cells",
     "__version__",
 ]

@@ -51,3 +51,12 @@ class PipelineError(ReproError):
 
 class ServiceError(ReproError):
     """Raised by the measurement store / sweep service (missing shards, bad I/O)."""
+
+
+class SearchError(ReproError):
+    """Raised when an architecture search is misconfigured or cannot proceed.
+
+    Examples include an unknown strategy name, a simulation store whose shard
+    size does not align with the search's generation size, or an objective
+    metric the target configuration cannot provide (energy on V3).
+    """

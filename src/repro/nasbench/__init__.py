@@ -21,6 +21,15 @@ from .famous_cells import (
 from .generator import enumerate_cells, random_cell, sample_unique_cells
 from .graph_metrics import CellMetrics, compute_metrics
 from .hashing import cell_fingerprint, hash_graph, permute_cell
+from .mutation import (
+    MUTATION_KINDS,
+    add_vertex,
+    flip_edge,
+    mutate_cell,
+    mutate_unique,
+    remove_vertex,
+    swap_op,
+)
 from .layer_table import KIND_CODES, LayerTable
 from .network import (
     LayerSpec,
@@ -61,6 +70,7 @@ __all__ = [
     "MAXPOOL3X3",
     "MAX_EDGES",
     "MAX_VERTICES",
+    "MUTATION_KINDS",
     "ModelRecord",
     "NASBenchDataset",
     "NetworkConfig",
@@ -71,6 +81,7 @@ __all__ = [
     "SECOND_BEST_ACCURACY_VALUE",
     "SHALLOW_CONV_HEAVY_CELL",
     "SurrogateAccuracyModel",
+    "add_vertex",
     "build_cell_layers",
     "build_network",
     "cell_fingerprint",
@@ -78,9 +89,14 @@ __all__ = [
     "compute_vertex_channels",
     "count_parameters",
     "enumerate_cells",
+    "flip_edge",
     "hash_graph",
+    "mutate_cell",
+    "mutate_unique",
     "parameter_distribution",
     "permute_cell",
     "random_cell",
+    "remove_vertex",
     "sample_unique_cells",
+    "swap_op",
 ]

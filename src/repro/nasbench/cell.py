@@ -32,7 +32,7 @@ def _as_matrix(matrix: Iterable[Iterable[int]]) -> np.ndarray:
     return array
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Cell:
     """An immutable NASBench-101 cell.
 
@@ -49,22 +49,58 @@ class Cell:
 
     Notes
     -----
-    Instances are validated on construction and are hashable; two cells with
-    identical matrices and op lists compare equal.  Graph-isomorphism
-    equivalence (the NASBench notion of "the same model") is provided by
-    :func:`repro.nasbench.hashing.cell_fingerprint`, not by ``==``.
+    Instances are validated on construction and are hashable.  Equality and
+    hashing follow NASBench-101's notion of "the same model": two cells
+    compare equal iff their pruned, operation-labelled graphs are isomorphic
+    (the :attr:`fingerprint` of each is computed once and cached), so sets and
+    dicts of cells de-duplicate by model identity without callers maintaining
+    fingerprint maps.
     """
 
     matrix: tuple[tuple[int, ...], ...]
     ops: tuple[str, ...]
     _np_matrix: np.ndarray = field(init=False, repr=False, compare=False)
+    _fingerprint: str | None = field(init=False, repr=False, compare=False)
 
     def __init__(self, matrix: Iterable[Iterable[int]], ops: Sequence[str]):
         array = _as_matrix(matrix)
         object.__setattr__(self, "matrix", tuple(tuple(int(v) for v in row) for row in array))
         object.__setattr__(self, "ops", tuple(ops))
         object.__setattr__(self, "_np_matrix", array)
+        object.__setattr__(self, "_fingerprint", None)
         self._validate()
+
+    # ------------------------------------------------------------------ #
+    # Model identity
+    # ------------------------------------------------------------------ #
+    @property
+    def fingerprint(self) -> str:
+        """Canonical (pruned) isomorphism fingerprint, computed once per cell.
+
+        Disconnected cells (constructible, but with no input-to-output path —
+        the population :meth:`is_valid` screens out) have no pruned canonical
+        form; they fall back to the unpruned structural hash so equality,
+        hashing and set membership never raise.  The fallback cannot collide
+        with a connected cell's fingerprint: isomorphic labelled graphs are
+        either both connected or both disconnected.
+        """
+        if self._fingerprint is None:
+            from .hashing import cell_fingerprint  # deferred: hashing imports Cell
+
+            try:
+                value = cell_fingerprint(self)
+            except InvalidCellError:
+                value = cell_fingerprint(self, prune=False)
+            object.__setattr__(self, "_fingerprint", value)
+        return self._fingerprint
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Cell):
+            return NotImplemented
+        return self.fingerprint == other.fingerprint
+
+    def __hash__(self) -> int:
+        return hash(self.fingerprint)
 
     # ------------------------------------------------------------------ #
     # Validation

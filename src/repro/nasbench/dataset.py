@@ -100,7 +100,7 @@ class NASBenchDataset:
         seen: set[str] = set()
         for cell in cells:
             pruned = cell.prune()
-            fingerprint = cell_fingerprint(pruned, prune=False)
+            fingerprint = pruned.fingerprint
             if fingerprint in seen:
                 continue
             seen.add(fingerprint)

@@ -22,7 +22,6 @@ import numpy as np
 
 from ..errors import DatasetError
 from .cell import Cell
-from .hashing import cell_fingerprint
 from .ops import INPUT, INTERIOR_OPS, MAX_EDGES, MAX_VERTICES, OUTPUT
 
 
@@ -80,20 +79,20 @@ def enumerate_cells(
     for num_vertices in range(2, max_vertices + 1):
         num_slots = num_vertices * (num_vertices - 1) // 2
         num_interior = num_vertices - 2
-        labelings = list(itertools.product(interior_ops, repeat=num_interior))
         for mask in range(1, 1 << num_slots):
             if bin(mask).count("1") > max_edges:
                 continue
             matrix = _matrix_from_edge_mask(num_vertices, mask)
             if not _is_pruned_form(matrix):
                 continue
-            for labeling in labelings:
+            # Labelings are iterated lazily (re-generated per matrix) instead
+            # of materializing the full 3^(n-2) product up front.
+            for labeling in itertools.product(interior_ops, repeat=num_interior):
                 ops = (INPUT, *labeling, OUTPUT)
                 cell = Cell(matrix, ops)
-                fingerprint = cell_fingerprint(cell, prune=False)
-                if fingerprint in seen:
+                if cell.fingerprint in seen:
                     continue
-                seen.add(fingerprint)
+                seen.add(cell.fingerprint)
                 yield cell
 
 
@@ -182,9 +181,8 @@ def sample_unique_cells(
 
     for cell in extra_cells:
         pruned = cell.prune()
-        fingerprint = cell_fingerprint(pruned, prune=False)
-        if fingerprint not in seen:
-            seen.add(fingerprint)
+        if pruned.fingerprint not in seen:
+            seen.add(pruned.fingerprint)
             cells.append(pruned)
 
     attempts = 0
@@ -198,10 +196,9 @@ def sample_unique_cells(
                 "larger than the sub-space"
             )
         cell = random_cell(rng, max_vertices, max_edges, interior_ops)
-        fingerprint = cell_fingerprint(cell, prune=False)
-        if fingerprint in seen:
+        if cell.fingerprint in seen:
             continue
-        seen.add(fingerprint)
+        seen.add(cell.fingerprint)
         cells.append(cell)
 
     return cells[:count]

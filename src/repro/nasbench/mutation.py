@@ -1,0 +1,224 @@
+"""Mutation operators over NASBench-101 cells.
+
+The search subsystem (:mod:`repro.search`) explores the cell space by local
+moves rather than fresh sampling.  Four primitive mutations are provided,
+matching the neighborhood used by regularized-evolution NAS on this space:
+
+* **edge flip** — toggle one slot of the upper-triangular adjacency matrix;
+* **op swap** — relabel one interior vertex with a different operation;
+* **vertex add** — splice a new interior vertex into the DAG, wired to one
+  predecessor and one successor;
+* **vertex remove** — delete one interior vertex with all its edges.
+
+Every entry point returns a **pruned, valid** cell inside the vertex/edge
+budget, or raises: mutations whose result is disconnected, over budget, or
+isomorphic to the input are rejected and retried.  De-duplication against a
+search history is fingerprint-based — :class:`~repro.nasbench.cell.Cell`
+hashes by its cached isomorphism fingerprint, so the ``seen`` container given
+to :func:`mutate_unique` can be a plain ``set[Cell]``.
+"""
+
+from __future__ import annotations
+
+from typing import Container, Sequence
+
+import numpy as np
+
+from ..errors import DatasetError, InvalidCellError
+from .cell import Cell
+from .ops import INTERIOR_OPS, MAX_EDGES, MAX_VERTICES
+
+#: The primitive mutation kinds, in canonical order.
+MUTATION_KINDS: tuple[str, ...] = ("edge_flip", "op_swap", "vertex_add", "vertex_remove")
+
+
+# --------------------------------------------------------------------------- #
+# Primitive mutations.  Each returns an *unpruned* candidate; structural
+# validity (connectivity, budgets) is enforced by the mutate_cell driver.
+# --------------------------------------------------------------------------- #
+def flip_edge(cell: Cell, rng: np.random.Generator) -> Cell:
+    """Toggle one random slot of the upper-triangular adjacency matrix."""
+    n = cell.num_vertices
+    slots = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    i, j = slots[int(rng.integers(len(slots)))]
+    matrix = cell.numpy_matrix()
+    matrix[i, j] = 1 - matrix[i, j]
+    return Cell(matrix, cell.ops)
+
+
+def swap_op(
+    cell: Cell, rng: np.random.Generator, interior_ops: Sequence[str] = INTERIOR_OPS
+) -> Cell:
+    """Relabel one random interior vertex with a different operation."""
+    if cell.num_vertices <= 2:
+        raise InvalidCellError("cell has no interior vertex to relabel")
+    vertex = int(rng.integers(1, cell.num_vertices - 1))
+    choices = [op for op in interior_ops if op != cell.ops[vertex]]
+    if not choices:
+        raise InvalidCellError("no alternative operation label is available")
+    ops = list(cell.ops)
+    ops[vertex] = str(choices[int(rng.integers(len(choices)))])
+    return Cell(cell.numpy_matrix(), ops)
+
+
+def add_vertex(
+    cell: Cell,
+    rng: np.random.Generator,
+    interior_ops: Sequence[str] = INTERIOR_OPS,
+    max_vertices: int = MAX_VERTICES,
+) -> Cell:
+    """Splice a new interior vertex into the DAG at a random position.
+
+    The new vertex is wired to one random predecessor and one random
+    successor, so it always lies on an input-to-output path.
+    """
+    n = cell.num_vertices
+    if n >= max_vertices:
+        raise InvalidCellError(f"cell already has the maximum of {max_vertices} vertices")
+    position = int(rng.integers(1, n))  # insert before this index, keeps 0 first
+    matrix = cell.numpy_matrix()
+    grown = np.zeros((n + 1, n + 1), dtype=np.int8)
+    grown[:position, :position] = matrix[:position, :position]
+    grown[:position, position + 1 :] = matrix[:position, position:]
+    grown[position + 1 :, position + 1 :] = matrix[position:, position:]
+    predecessor = int(rng.integers(0, position))
+    successor = int(rng.integers(position + 1, n + 1))
+    grown[predecessor, position] = 1
+    grown[position, successor] = 1
+    ops = list(cell.ops)
+    ops.insert(position, str(interior_ops[int(rng.integers(len(interior_ops)))]))
+    return Cell(grown, ops)
+
+
+def remove_vertex(cell: Cell, rng: np.random.Generator) -> Cell:
+    """Delete one random interior vertex together with all its edges."""
+    if cell.num_vertices <= 2:
+        raise InvalidCellError("cell has no interior vertex to remove")
+    vertex = int(rng.integers(1, cell.num_vertices - 1))
+    keep = [i for i in range(cell.num_vertices) if i != vertex]
+    matrix = cell.numpy_matrix()[np.ix_(keep, keep)]
+    ops = [cell.ops[i] for i in keep]
+    return Cell(matrix, ops)
+
+
+# --------------------------------------------------------------------------- #
+# Driver
+# --------------------------------------------------------------------------- #
+def _applicable_kinds(
+    cell: Cell,
+    kinds: Sequence[str],
+    max_vertices: int,
+    max_edges: int,
+    interior_ops: Sequence[str],
+) -> list[str]:
+    """The mutation kinds that can possibly produce a valid result for *cell*."""
+    applicable = []
+    for kind in kinds:
+        if kind == "edge_flip":
+            applicable.append(kind)
+        elif kind == "op_swap":
+            if any(
+                any(op != existing for op in interior_ops)
+                for existing in cell.interior_ops
+            ):
+                applicable.append(kind)
+        elif kind == "vertex_add":
+            if cell.num_vertices < max_vertices and cell.num_edges + 2 <= max_edges:
+                applicable.append(kind)
+        elif kind == "vertex_remove":
+            if cell.num_vertices > 2:
+                applicable.append(kind)
+        else:
+            raise DatasetError(
+                f"unknown mutation kind {kind!r}; expected one of {MUTATION_KINDS}"
+            )
+    return applicable
+
+
+def mutate_cell(
+    cell: Cell,
+    rng: np.random.Generator,
+    max_vertices: int = MAX_VERTICES,
+    max_edges: int = MAX_EDGES,
+    interior_ops: Sequence[str] = INTERIOR_OPS,
+    kinds: Sequence[str] = MUTATION_KINDS,
+    max_attempts: int = 100,
+) -> Cell:
+    """Return one random valid mutation of *cell*.
+
+    A uniformly chosen applicable mutation kind is applied and the result is
+    pruned; candidates that are disconnected, outside the vertex/edge budget,
+    or isomorphic to the input (a semantic no-op, e.g. flipping an edge of a
+    dangling branch) are rejected and redrawn.
+
+    Raises
+    ------
+    DatasetError
+        If no valid, model-changing mutation is found in *max_attempts* draws
+        (or no kind is applicable at all).
+    """
+    applicable = _applicable_kinds(cell, kinds, max_vertices, max_edges, interior_ops)
+    if not applicable:
+        raise DatasetError(
+            f"no mutation kind of {tuple(kinds)} is applicable to {cell}"
+        )
+    for _ in range(max_attempts):
+        kind = applicable[int(rng.integers(len(applicable)))]
+        try:
+            if kind == "edge_flip":
+                mutant = flip_edge(cell, rng)
+            elif kind == "op_swap":
+                mutant = swap_op(cell, rng, interior_ops)
+            elif kind == "vertex_add":
+                mutant = add_vertex(cell, rng, interior_ops, max_vertices)
+            else:
+                mutant = remove_vertex(cell, rng)
+            pruned = mutant.prune()
+        except InvalidCellError:
+            continue
+        if pruned.num_vertices > max_vertices or pruned.num_edges > max_edges:
+            continue
+        if pruned == cell:  # isomorphic to the parent: not a new model
+            continue
+        return pruned
+    raise DatasetError(
+        f"failed to produce a valid mutation of {cell} after {max_attempts} attempts"
+    )
+
+
+def mutate_unique(
+    cell: Cell,
+    rng: np.random.Generator,
+    seen: Container[Cell],
+    max_vertices: int = MAX_VERTICES,
+    max_edges: int = MAX_EDGES,
+    interior_ops: Sequence[str] = INTERIOR_OPS,
+    kinds: Sequence[str] = MUTATION_KINDS,
+    max_attempts: int = 50,
+) -> Cell:
+    """Mutate *cell* until the result is not contained in *seen*.
+
+    Membership is fingerprint-based (``mutant in seen`` with a ``set[Cell]``
+    uses the cached isomorphism fingerprint), so a search history never
+    re-evaluates a model it has already measured.
+
+    Raises
+    ------
+    DatasetError
+        If every drawn mutation was already seen (a crowded neighborhood);
+        callers typically fall back to a fresh random cell.
+    """
+    for _ in range(max_attempts):
+        mutant = mutate_cell(
+            cell,
+            rng,
+            max_vertices=max_vertices,
+            max_edges=max_edges,
+            interior_ops=interior_ops,
+            kinds=kinds,
+        )
+        if mutant not in seen:
+            return mutant
+    raise DatasetError(
+        f"every mutation of {cell} drawn in {max_attempts} attempts was already seen"
+    )

@@ -3,7 +3,10 @@
 This subsystem runs the paper's per-configuration × per-metric model grid as
 one declarative :class:`Experiment`, with deterministic seeding and npz disk
 caching of both the simulator labels and the trained weights so repeated
-runs are incremental.  See DESIGN.md §5 for the architecture.
+runs are incremental (DESIGN.md §5).  :class:`SearchExperiment` gives
+architecture searches the same lifecycle: spec-keyed measurement shards,
+resume after interruption, full replay over a warm cache, and a persisted
+Pareto archive (DESIGN.md §7).
 """
 
 from .cache import CacheStats, ExperimentCache
@@ -14,6 +17,12 @@ from .experiment import (
     stable_key,
 )
 from .runner import ExperimentResult, GridCellResult, run_experiment
+from .search import (
+    SearchExperiment,
+    SearchExperimentResult,
+    load_search_archive,
+    run_search_experiment,
+)
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
@@ -23,6 +32,10 @@ __all__ = [
     "ExperimentResult",
     "GridCellResult",
     "PopulationSpec",
+    "SearchExperiment",
+    "SearchExperimentResult",
+    "load_search_archive",
     "run_experiment",
+    "run_search_experiment",
     "stable_key",
 ]

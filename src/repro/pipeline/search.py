@@ -1,0 +1,113 @@
+"""Cached search experiments: run, resume and replay architecture searches.
+
+A :class:`SearchExperiment` gives a search the same lifecycle the learned
+model grid has (:mod:`repro.pipeline.runner`): the spec hashes to a stable
+key, the per-generation sweeps go through a :class:`~repro.service.MeasurementStore`
+embedded in the cache directory under ``search-<key>``, and the final Pareto
+archive is persisted next to the shards.  Because the engine's generation
+sequence is deterministic in the spec, re-running an unchanged experiment
+over a warm cache **replays** the search — every shard loads from disk,
+nothing is simulated — while a run interrupted mid-search resumes with only
+the missing generations simulated.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from ..analysis.archive import ParetoArchive
+from ..search.engine import SearchEngine
+from ..search.result import SearchResult
+from ..search.spec import SearchSpec
+from ..service.store import MeasurementStore
+from .experiment import CACHE_FORMAT_VERSION, stable_key
+
+
+@dataclass(frozen=True)
+class SearchExperiment:
+    """One named, cacheable architecture search."""
+
+    name: str
+    spec: SearchSpec = field(default_factory=SearchSpec)
+
+    def search_key(self) -> str:
+        """Stable digest of everything that determines the search outcome.
+
+        The experiment *name* is deliberately excluded, exactly like the
+        model grid's keys: renaming an experiment must not invalidate its
+        cached sweep.
+        """
+        return stable_key(
+            {
+                "kind": "search",
+                "version": CACHE_FORMAT_VERSION,
+                "spec": asdict(self.spec),
+            }
+        )
+
+
+@dataclass
+class SearchExperimentResult:
+    """A finished (or replayed) search experiment."""
+
+    experiment: SearchExperiment
+    result: SearchResult
+    replayed: bool
+    archive_path: Path | None
+    elapsed_seconds: float
+
+
+def run_search_experiment(
+    experiment: SearchExperiment,
+    cache_dir: str | Path | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> SearchExperimentResult:
+    """Run *experiment*, reusing every cached generation sweep.
+
+    With *cache_dir* set, the search's measurement shards live under
+    ``search-<key>`` in that directory: a repeated run with an unchanged spec
+    simulates nothing (``result.replayed`` is ``True``), an interrupted run
+    resumes where it stopped, and the final frontier is persisted as
+    ``search-<key>-archive.npz`` (reload it with
+    :meth:`~repro.analysis.ParetoArchive.load`).  Without a cache directory
+    the search still runs store-backed, but against a temporary directory
+    that disappears with the engine.
+    """
+    start = time.perf_counter()
+    spec = experiment.spec
+    store = None
+    archive_path = None
+    if cache_dir is not None:
+        key = experiment.search_key()
+        root = Path(cache_dir)
+        store = MeasurementStore(
+            root,
+            shard_size=spec.population_size,
+            enable_parameter_caching=spec.enable_parameter_caching,
+            prefix=f"search-{key}",
+        )
+        archive_path = root / f"search-{key}-archive.npz"
+
+    engine = SearchEngine(spec, store=store)
+    result = engine.run(progress)
+    replayed = store is not None and store.stats.pairs_simulated == 0
+    if archive_path is not None:
+        result.archive.save(archive_path)
+    return SearchExperimentResult(
+        experiment=experiment,
+        result=result,
+        replayed=replayed,
+        archive_path=archive_path,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+def load_search_archive(
+    experiment: SearchExperiment, cache_dir: str | Path
+) -> ParetoArchive:
+    """Reload the persisted frontier of a finished search experiment."""
+    key = experiment.search_key()
+    return ParetoArchive.load(Path(cache_dir) / f"search-{key}-archive.npz")

@@ -1,0 +1,22 @@
+"""Hardware-aware architecture search over the NASBench cell space.
+
+The repo's first *optimizing* subsystem: where :mod:`repro.simulator` and
+:mod:`repro.service` measure populations, :mod:`repro.search` explores the
+space — three strategies (random baseline, regularized evolution,
+predictor-guided pre-screening) behind one :class:`SearchEngine`, evaluated
+generation-by-generation through the resumable measurement store and tracked
+by a :class:`~repro.analysis.ParetoArchive` with per-generation hypervolume.
+See DESIGN.md §7.
+"""
+
+from .engine import SearchEngine
+from .result import GenerationStats, SearchResult
+from .spec import STRATEGIES, SearchSpec
+
+__all__ = [
+    "STRATEGIES",
+    "GenerationStats",
+    "SearchEngine",
+    "SearchResult",
+    "SearchSpec",
+]

@@ -73,6 +73,12 @@ class SweepService:
     settings:
         Training hyperparameters of the learned models backing
         :meth:`predict` (part of their weight-cache key).
+    measurements:
+        Optional already-loaded :class:`MeasurementSet` of *dataset* to serve
+        from, skipping the disk load.  Used by callers that just swept the
+        store and still hold the result (the search engine constructs one
+        service per generation); the set must cover every requested
+        configuration and belong to *dataset*.
     """
 
     def __init__(
@@ -81,10 +87,28 @@ class SweepService:
         dataset: NASBenchDataset,
         configs: Iterable[object] | None = None,
         settings: TrainingSettings | None = None,
+        measurements: MeasurementSet | None = None,
     ):
         self._store = store
         self._dataset = dataset
-        self._measurements = store.load(dataset, configs=configs)
+        if measurements is None:
+            measurements = store.load(dataset, configs=configs)
+        else:
+            if measurements.dataset is not dataset:
+                raise ServiceError(
+                    "the preloaded measurement set belongs to a different "
+                    "dataset than the one served"
+                )
+            missing = [
+                name
+                for name in MeasurementStore._config_names(configs)
+                if name not in measurements.config_names
+            ]
+            if missing:
+                raise ServiceError(
+                    f"the preloaded measurement set lacks configurations {missing}"
+                )
+        self._measurements = measurements
         self._settings = settings or TrainingSettings()
         self._models: dict[tuple[str, str], LearnedPerformanceModel] = {}
         self._table: GraphTable | None = None

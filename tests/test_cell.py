@@ -180,3 +180,62 @@ class TestSerialization:
         matrix = cell.numpy_matrix()
         matrix[0, 1] = 0
         assert cell.numpy_matrix()[0, 1] == 1
+
+
+class TestModelIdentity:
+    """Equality and hashing follow the isomorphism fingerprint."""
+
+    def test_fingerprint_matches_cell_fingerprint(self):
+        from repro.nasbench import cell_fingerprint
+
+        cell = linear_cell(CONV3X3, MAXPOOL3X3)
+        assert cell.fingerprint == cell_fingerprint(cell)
+        # Cached: repeated access returns the identical string object.
+        assert cell.fingerprint is cell.fingerprint
+
+    def test_isomorphic_cells_compare_equal(self):
+        from repro.nasbench import permute_cell
+
+        matrix = [
+            [0, 1, 1, 0],
+            [0, 0, 0, 1],
+            [0, 0, 0, 1],
+            [0, 0, 0, 0],
+        ]
+        cell = Cell(matrix, [INPUT, CONV3X3, CONV1X1, OUTPUT])
+        # Swapping the two parallel branches relabels the vertices but keeps
+        # the model the same.
+        permuted = permute_cell(cell, [0, 2, 1, 3])
+        assert permuted.ops != cell.ops
+        assert permuted == cell
+        assert hash(permuted) == hash(cell)
+
+    def test_dangling_vertex_cell_equals_its_pruned_form(self):
+        base = linear_cell(CONV3X3)
+        with_dangling = Cell(
+            [
+                [0, 1, 1, 0],
+                [0, 0, 0, 1],
+                [0, 0, 0, 0],  # vertex 2 has no outgoing path: pruned away
+                [0, 0, 0, 0],
+            ],
+            [INPUT, CONV3X3, CONV1X1, OUTPUT],
+        )
+        assert with_dangling == base
+        assert len({with_dangling, base}) == 1
+
+    def test_sets_of_cells_deduplicate_by_model(self):
+        a = linear_cell(CONV3X3)
+        b = linear_cell(CONV1X1)
+        assert len({a, b, linear_cell(CONV3X3)}) == 2
+        assert a != b
+        assert a != "not a cell"
+
+    def test_disconnected_cells_compare_without_raising(self):
+        # No input->output path: constructible (is_valid() screens it later),
+        # and equality/hashing must not raise despite having no pruned form.
+        disconnected = Cell([[0, 0], [0, 0]], [INPUT, OUTPUT])
+        assert not disconnected.is_valid()
+        assert disconnected == Cell([[0, 0], [0, 0]], [INPUT, OUTPUT])
+        assert disconnected != linear_cell(CONV3X3)
+        assert len({disconnected, disconnected}) == 1

@@ -80,3 +80,30 @@ class TestSampling:
         assert cell.is_valid()
         # random_cell returns pruned cells: pruning again is a no-op.
         assert cell.prune().num_vertices == cell.num_vertices
+
+
+class TestSamplingFailurePaths:
+    def test_random_cell_exhausts_attempts_instead_of_looping(self):
+        # With max_vertices=3 every draw needs at least 2 edges (a spanning
+        # path), so an edge budget of 1 makes every attempt hit the
+        # min_edges > max_usable_edges boundary.  The draw must *skip* those
+        # attempts (not loop forever) and raise once the budget is spent.
+        rng = np.random.default_rng(0)
+        with pytest.raises(DatasetError, match="after 40 attempts"):
+            random_cell(rng, max_vertices=3, max_edges=1, max_attempts=40)
+
+    def test_random_cell_works_at_the_edge_budget_boundary(self):
+        # min_edges == max_usable_edges is the tightest satisfiable budget.
+        rng = np.random.default_rng(1)
+        cell = random_cell(rng, max_vertices=3, max_edges=2)
+        assert cell.num_edges <= 2
+
+    def test_random_cell_zero_attempts_raises(self):
+        with pytest.raises(DatasetError):
+            random_cell(np.random.default_rng(0), max_attempts=0)
+
+    def test_sample_unique_cells_raises_when_subspace_is_exhausted(self):
+        # The 3-vertex sub-space only holds 7 unique models; asking for 50
+        # must terminate with DatasetError, not spin forever.
+        with pytest.raises(DatasetError, match="unique cells"):
+            sample_unique_cells(50, seed=0, max_vertices=3)

@@ -269,6 +269,41 @@ class TestSweepService:
         with pytest.raises(ServiceError, match="missing"):
             SweepService(make_store(tmp_path), store_dataset, configs=CONFIGS)
 
+    def test_preloaded_measurements_skip_the_disk_load(
+        self, tmp_path, store_dataset, direct_measurements, no_simulation
+    ):
+        # A *cold* store is fine when the caller hands over the measurements:
+        # nothing is loaded, nothing is simulated.
+        service = SweepService(
+            make_store(tmp_path),
+            store_dataset,
+            configs=CONFIGS,
+            measurements=direct_measurements,
+        )
+        assert service.measurements is direct_measurements
+        assert service.top_k(1)[0].record.fingerprint == (
+            store_dataset.top_k_by_accuracy(1)[0].fingerprint
+        )
+
+    def test_preloaded_measurements_are_validated(
+        self, tmp_path, store_dataset, direct_measurements, no_simulation
+    ):
+        other = NASBenchDataset(store_dataset.records[:SHARD], store_dataset.network_config)
+        with pytest.raises(ServiceError, match="different dataset"):
+            SweepService(
+                make_store(tmp_path),
+                other,
+                configs=CONFIGS,
+                measurements=direct_measurements,
+            )
+        with pytest.raises(ServiceError, match="lacks configurations"):
+            SweepService(
+                make_store(tmp_path),
+                store_dataset,
+                configs=("V1", "V9"),
+                measurements=direct_measurements,
+            )
+
     def test_predictions_for_unseen_cells_are_cached_on_disk(
         self, warm_root, store_dataset, monkeypatch
     ):
