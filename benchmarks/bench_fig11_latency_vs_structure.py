@@ -28,9 +28,7 @@ def test_fig11_latency_vs_depth_and_width(benchmark, bench_measurements):
     lines = ["Figure 11 — median latency (ms) vs graph depth and width"]
     for name, groups in stats.items():
         for attribute in ("depth", "width"):
-            summary = ", ".join(
-                f"{group.group}:{group.median:.3f}" for group in groups[attribute]
-            )
+            summary = ", ".join(f"{group.group}:{group.median:.3f}" for group in groups[attribute])
             lines.append(f"{name} by {attribute}: {summary}")
     report("fig11_latency_vs_structure", lines)
 

@@ -33,7 +33,9 @@ def test_fig15_operation_swaps(benchmark, bench_dataset, bench_configs):
     matrices = benchmark.pedantic(run, rounds=1, iterations=1)
 
     operations = (CONV3X3, CONV1X1, MAXPOOL3X3)
-    lines = [f"Figure 15 — average latency change when swapping operations ({SWAP_SAMPLE} models)"]
+    lines = [
+        f"Figure 15 — average latency change when swapping operations ({SWAP_SAMPLE} models)"
+    ]
     for name, matrix in matrices.items():
         lines.append(f"{name}: average change in latency, ms (rows: original, cols: replacement)")
         lines.append(f"{'':<14}" + "".join(f"{_LABELS[op]:>14}" for op in operations))

@@ -24,9 +24,7 @@ def test_fig5_accuracy_vs_latency(benchmark, bench_measurements):
     scatters = benchmark.pedantic(run, rounds=1, iterations=1)
 
     lines = ["Figure 5 — accuracy vs latency scatter (models with >= 70% accuracy)"]
-    conv_counts = np.array(
-        [record.metrics.num_conv3x3 for record in bench_measurements.dataset]
-    )
+    conv_counts = np.array([record.metrics.num_conv3x3 for record in bench_measurements.dataset])
     for name, points in scatters.items():
         latencies = np.array([p.latency_ms for p in points])
         accuracies = np.array([p.accuracy for p in points])

@@ -16,10 +16,7 @@ from _reporting import report
 
 def test_fig6_latency_vs_energy(benchmark, bench_measurements):
     def run():
-        return {
-            name: latency_energy_scatter(bench_measurements, name)
-            for name in ("V1", "V2")
-        }
+        return {name: latency_energy_scatter(bench_measurements, name) for name in ("V1", "V2")}
 
     scatters = benchmark.pedantic(run, rounds=1, iterations=1)
 
@@ -30,7 +27,8 @@ def test_fig6_latency_vs_energy(benchmark, bench_measurements):
         fits[name] = (slope, intercept)
         energies = np.array([p.energy_mj for p in points])
         lines.append(
-            f"{name}: {len(points)} points, energy [{energies.min():.2f}, {energies.max():.2f}] mJ, "
+            f"{name}: {len(points)} points, "
+            f"energy [{energies.min():.2f}, {energies.max():.2f}] mJ, "
             f"linear fit energy = {slope:.2f} * latency + {intercept:.2f}"
         )
     # Small-model vs large-model comparison (the crossover the paper reports).
@@ -39,7 +37,9 @@ def test_fig6_latency_vs_energy(benchmark, bench_measurements):
     large = params > 20e6
     small_v1 = np.nanmean(bench_measurements.energies("V1")[small])
     small_v2 = np.nanmean(bench_measurements.energies("V2")[small])
-    lines.append(f"small models (<3M params): avg energy V1 {small_v1:.2f} mJ, V2 {small_v2:.2f} mJ")
+    lines.append(
+        f"small models (<3M params): avg energy V1 {small_v1:.2f} mJ, V2 {small_v2:.2f} mJ"
+    )
     if large.any():
         large_v1 = np.nanmean(bench_measurements.energies("V1")[large])
         large_v2 = np.nanmean(bench_measurements.energies("V2")[large])

@@ -26,7 +26,10 @@ def test_fig9_top5_accuracy_models(benchmark, bench_measurements):
     for entry in entries:
         lines.append(
             f"{entry.rank:<6}{entry.accuracy:>10.4f}{entry.record.trainable_parameters:>14,}"
-            + "".join(f"{entry.latency_ms[name]:>12.4f}" for name in bench_measurements.config_names)
+            + "".join(
+                f"{entry.latency_ms[name]:>12.4f}"
+                for name in bench_measurements.config_names
+            )
             + f"{entry.fastest_config:>10}"
         )
     report("fig9_top5_models", lines)

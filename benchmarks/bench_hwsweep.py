@@ -1,0 +1,139 @@
+"""Hardware design-space sweep throughput: config-axis grid vs per-config loop.
+
+A design-space study multiplies the sweep cost by the size of the hardware
+grid: the same population is re-simulated on every configuration.  The
+per-config loop re-runs the mapping/cache/timing/energy kernels once per
+configuration; the config-axis vectorized path
+(:meth:`BatchSimulator.evaluate_table_grid`) broadcasts the configuration
+scalars as :class:`~repro.arch.ConfigTable` columns, runs every kernel once
+over ``(num_configs, num_layers)`` arrays, and factorizes the mapping/cache
+kernels over the distinct sub-configurations they read (a clock axis is
+free).  This benchmark measures both on the same grid (and asserts
+bit-identical results); the grid path must be at least 3x faster on a
+>= 8-configuration grid.
+
+The primary population is generation-scale (tens of models) — the shape the
+grid path actually serves in the co-search inner loop, predictor pools and
+incremental store extends.  A second, larger population is reported for
+context: there both paths stream the same multi-megabyte arrays and the
+speedup honestly tapers toward the memory-bandwidth bound.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+
+import numpy as np
+
+from repro.hwspace import AcceleratorSpace
+from repro.nasbench import NASBenchDataset
+from repro.nasbench.layer_table import LayerTable
+from repro.simulator import BatchSimulator
+
+from _reporting import report
+
+#: Models in the primary (generation-scale) swept population.
+HW_MODELS = int(os.environ.get("REPRO_BENCH_HW_MODELS", "48"))
+#: Models in the context (population-scale) row; 0 skips it.
+HW_LARGE_MODELS = int(os.environ.get("REPRO_BENCH_HW_LARGE_MODELS", "200"))
+#: Hardware grid size cap (the full axes give 36 points; smoke mode trims).
+HW_CONFIGS = int(os.environ.get("REPRO_BENCH_HW_CONFIGS", "36"))
+#: Timed repetitions (best-of).
+HW_ROUNDS = int(os.environ.get("REPRO_BENCH_HW_ROUNDS", "3"))
+
+#: The benchmark grid: clock x PE geometry x cores x lanes around V1.
+SPACE = AcceleratorSpace(
+    {
+        "clock_mhz": [800.0, 1066.0, 1250.0],
+        "pes_x": [2, 4, 8],
+        "cores_per_pe": [2, 4],
+        "compute_lanes": [32, 64],
+    }
+)
+
+
+def _best_of(rounds, run):
+    timings = []
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = run()
+        timings.append(time.perf_counter() - start)
+    return min(timings), result
+
+
+def _measure(num_models, configs, simulator, seed=2022):
+    """Best-of timings of both sweep paths on one population; checks equality."""
+    dataset = NASBenchDataset.generate(num_models=num_models, seed=seed)
+    networks = [record.build_network(dataset.network_config) for record in dataset]
+    table = LayerTable.from_networks(networks)
+
+    def loop_sweep():
+        return [simulator.evaluate_table(table, config) for config in configs]
+
+    def grid_sweep():
+        return simulator.evaluate_table_grid(table, configs)
+
+    # Warm-up + equivalence guard: the two paths must agree bit-for-bit.
+    loop_results = loop_sweep()
+    grid_latency, grid_energy = grid_sweep()
+    for index in range(len(configs)):
+        np.testing.assert_array_equal(grid_latency[index], loop_results[index][0])
+        np.testing.assert_array_equal(grid_energy[index], loop_results[index][1])
+
+    loop_elapsed, _ = _best_of(HW_ROUNDS, loop_sweep)
+    grid_elapsed, _ = _best_of(HW_ROUNDS, grid_sweep)
+    return grid_sweep, loop_elapsed, grid_elapsed
+
+
+def test_hwsweep_throughput(benchmark):
+    configs = list(itertools.islice(SPACE.enumerate(), HW_CONFIGS))
+    simulator = BatchSimulator()
+
+    grid_sweep, loop_elapsed, grid_elapsed = _measure(HW_MODELS, configs, simulator)
+    benchmark.pedantic(grid_sweep, rounds=1, iterations=1)
+
+    evaluations = HW_MODELS * len(configs)
+    loop_rate = evaluations / loop_elapsed
+    grid_rate = evaluations / grid_elapsed
+    speedup = grid_rate / loop_rate
+
+    benchmark.extra_info["grid_configs"] = len(configs)
+    benchmark.extra_info["models"] = HW_MODELS
+    benchmark.extra_info["loop_evals_per_sec"] = round(loop_rate, 1)
+    benchmark.extra_info["grid_evals_per_sec"] = round(grid_rate, 1)
+    benchmark.extra_info["grid_speedup"] = round(speedup, 1)
+
+    lines = [
+        "Hardware design-space sweep — (model, config) evaluations/sec over "
+        f"a {len(configs)}-configuration grid",
+        f"{'engine':<34}{'evals/sec':>14}{'elapsed (s)':>14}{'speedup':>10}",
+        f"{f'per-config loop ({HW_MODELS} models)':<34}"
+        f"{loop_rate:>14.1f}{loop_elapsed:>14.3f}{1.0:>10.1f}",
+        f"{f'config-axis grid ({HW_MODELS} models)':<34}"
+        f"{grid_rate:>14.1f}{grid_elapsed:>14.3f}{speedup:>10.1f}",
+    ]
+
+    if HW_LARGE_MODELS:
+        _, large_loop, large_grid = _measure(HW_LARGE_MODELS, configs, simulator)
+        large_evaluations = HW_LARGE_MODELS * len(configs)
+        large_loop_rate = large_evaluations / large_loop
+        large_grid_rate = large_evaluations / large_grid
+        benchmark.extra_info["large_models"] = HW_LARGE_MODELS
+        benchmark.extra_info["large_grid_speedup"] = round(large_grid_rate / large_loop_rate, 1)
+        lines += [
+            f"{f'per-config loop ({HW_LARGE_MODELS} models)':<34}"
+            f"{large_loop_rate:>14.1f}{large_loop:>14.3f}{1.0:>10.1f}",
+            f"{f'config-axis grid ({HW_LARGE_MODELS} models)':<34}"
+            f"{large_grid_rate:>14.1f}{large_grid:>14.3f}"
+            f"{large_grid_rate / large_loop_rate:>10.1f}",
+        ]
+    report("hwsweep_throughput", lines)
+
+    if len(configs) >= 8:
+        assert speedup >= 3.0, (
+            f"config-axis sweep only {speedup:.1f}x the per-config loop on a "
+            f"{len(configs)}-configuration grid"
+        )

@@ -58,9 +58,7 @@ def test_resumable_sweep(benchmark, tmp_path):
     # Shards are content-keyed, so sweeping the prefix population writes
     # exactly the files the full population reuses.
     warm_shards = n_shards // 2
-    prefix = NASBenchDataset(
-        dataset.records[: warm_shards * STORE_SHARD], dataset.network_config
-    )
+    prefix = NASBenchDataset(dataset.records[: warm_shards * STORE_SHARD], dataset.network_config)
     resume_root = tmp_path / "resume"
     MeasurementStore(resume_root, shard_size=STORE_SHARD).sweep(prefix, configs=configs)
     resume_store, resume_elapsed = _timed_sweep(resume_root, dataset, configs)
@@ -73,9 +71,7 @@ def test_resumable_sweep(benchmark, tmp_path):
 
     # --- fully warm: pure loading (the tracked benchmark metric) ----------- #
     warm_store = MeasurementStore(tmp_path / "cold", shard_size=STORE_SHARD)
-    benchmark.pedantic(
-        lambda: warm_store.sweep(dataset, configs=configs), rounds=3, iterations=1
-    )
+    benchmark.pedantic(lambda: warm_store.sweep(dataset, configs=configs), rounds=3, iterations=1)
     load_store, warm_elapsed = _timed_sweep(tmp_path / "cold", dataset, configs)
     assert load_store.stats.pairs_simulated == 0
     assert warm_elapsed < cold_elapsed
@@ -84,9 +80,7 @@ def test_resumable_sweep(benchmark, tmp_path):
     benchmark.extra_info["cold_models_per_sec"] = round(total / cold_elapsed, 1)
     benchmark.extra_info["resume_models_per_sec"] = round(total / resume_elapsed, 1)
     benchmark.extra_info["warm_models_per_sec"] = round(total / warm_elapsed, 1)
-    benchmark.extra_info["resume_fraction_of_cold"] = round(
-        resume_elapsed / cold_elapsed, 3
-    )
+    benchmark.extra_info["resume_fraction_of_cold"] = round(resume_elapsed / cold_elapsed, 3)
 
     rows = [
         ("cold (all simulated)", cold_store.stats, cold_elapsed),

@@ -75,9 +75,7 @@ def test_search_sample_efficiency(benchmark, tmp_path):
     budget = _spec("random").simulation_budget
     benchmark.extra_info["budget"] = budget
     for strategy in STRATEGIES:
-        benchmark.extra_info[f"{strategy}_best_ms"] = round(
-            results[strategy].best_objective, 4
-        )
+        benchmark.extra_info[f"{strategy}_best_ms"] = round(results[strategy].best_objective, 4)
 
     lines = [
         "Architecture search — best feasible V1 latency at equal simulation budget",
@@ -96,9 +94,7 @@ def test_search_sample_efficiency(benchmark, tmp_path):
         )
     lines.append("")
     lines.append("best-so-far latency (ms) per generation:")
-    header = f"{'strategy':<12}" + "".join(
-        f"{f'gen {i}':>10}" for i in range(SEARCH_GENS)
-    )
+    header = f"{'strategy':<12}" + "".join(f"{f'gen {i}':>10}" for i in range(SEARCH_GENS))
     lines.append(header)
     for strategy in STRATEGIES:
         trajectory = "".join(

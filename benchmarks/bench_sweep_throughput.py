@@ -24,9 +24,7 @@ SCALAR_SUBSET_MODELS = int(os.environ.get("REPRO_BENCH_SCALAR_MODELS", "120"))
 #: Worker processes for the sharded measurement (at least 2, so the
 #: process-sharding path is always exercised; on a single-core box the row
 #: honestly reports the sharding overhead instead of a speedup).
-SHARD_JOBS = int(
-    os.environ.get("REPRO_BENCH_SWEEP_JOBS", str(min(4, max(2, os.cpu_count() or 1))))
-)
+SHARD_JOBS = int(os.environ.get("REPRO_BENCH_SWEEP_JOBS", str(min(4, max(2, os.cpu_count() or 1)))))
 
 
 def _sweep_rate(dataset, configs, **kwargs) -> tuple[float, float]:
@@ -51,9 +49,7 @@ def test_sweep_throughput(benchmark, bench_dataset, bench_configs):
         rounds=1,
         iterations=1,
     )
-    vectorized_rate, vectorized_elapsed = _sweep_rate(
-        bench_dataset, configs, strategy="vectorized"
-    )
+    vectorized_rate, vectorized_elapsed = _sweep_rate(bench_dataset, configs, strategy="vectorized")
     sharded_rate, sharded_elapsed = _sweep_rate(
         bench_dataset, configs, strategy="vectorized", n_jobs=SHARD_JOBS
     )

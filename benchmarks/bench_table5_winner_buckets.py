@@ -13,9 +13,7 @@ from _reporting import report
 
 
 def test_table5_winner_buckets(benchmark, bench_measurements):
-    buckets = benchmark.pedantic(
-        lambda: winner_buckets(bench_measurements), rounds=1, iterations=1
-    )
+    buckets = benchmark.pedantic(lambda: winner_buckets(bench_measurements), rounds=1, iterations=1)
 
     lines = [
         "Table 5 — average latency/energy of the models won by each configuration",

@@ -25,7 +25,8 @@ def test_table6_bucket_characteristics(benchmark, bench_measurements):
 
     lines = [
         "Table 6 — characteristics of the winner buckets",
-        f"{'characteristic':<30}" + "".join(f"Latency({name})<=".rjust(16) for name in characteristics),
+        f"{'characteristic':<30}"
+        + "".join(f"Latency({name})<=".rjust(16) for name in characteristics),
     ]
     rows = [
         ("Avg. # of Conv 3x3", lambda c: f"{c.avg_conv3x3:.2f}"),

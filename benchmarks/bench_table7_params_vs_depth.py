@@ -13,18 +13,14 @@ from _reporting import report
 
 
 def test_table7_parameters_vs_depth(benchmark, bench_dataset):
-    rows = benchmark.pedantic(
-        lambda: parameters_by_depth(bench_dataset), rounds=1, iterations=1
-    )
+    rows = benchmark.pedantic(lambda: parameters_by_depth(bench_dataset), rounds=1, iterations=1)
 
     lines = [
         "Table 7 — average number of trainable parameters vs graph depth",
         f"{'graph depth':>12}{'# models':>10}{'avg. # of parameters':>24}",
     ]
     for row in rows:
-        lines.append(
-            f"{row.depth:>12}{row.num_models:>10}{row.avg_trainable_parameters:>24,.0f}"
-        )
+        lines.append(f"{row.depth:>12}{row.num_models:>10}{row.avg_trainable_parameters:>24,.0f}")
     report("table7_params_vs_depth", lines)
 
     assert sum(row.num_models for row in rows) == len(bench_dataset)

@@ -130,14 +130,10 @@ def test_training_throughput(benchmark, tmp_path):
     benchmark.extra_info["epoch_batching_speedup"] = round(
         legacy_epoch_batching / packed_epoch_batching, 2
     )
-    benchmark.extra_info["full_batch_speedup"] = round(
-        legacy_full_batch / packed_full_batch, 1
-    )
+    benchmark.extra_info["full_batch_speedup"] = round(legacy_full_batch / packed_full_batch, 1)
     benchmark.extra_info["packed_epoch_seconds"] = round(packed_train / EPOCHS, 4)
     benchmark.extra_info["legacy_epoch_seconds"] = round(legacy_train / EPOCHS, 4)
-    benchmark.extra_info["pipeline_warm_speedup"] = round(
-        cold_pipeline / warm_pipeline, 1
-    )
+    benchmark.extra_info["pipeline_warm_speedup"] = round(cold_pipeline / warm_pipeline, 1)
 
     lines = [
         "Training throughput — packed GraphTable vs legacy list batching",

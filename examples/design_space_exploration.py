@@ -45,10 +45,7 @@ def main(num_models: int = 150) -> None:
     pe_grids = [(4, 4), (4, 2), (2, 2), (2, 1)]
     bandwidths = [8.5, 17.0, 34.0]
 
-    print(
-        f"Average latency (ms) over {num_models} NASBench models, V1-derived "
-        "configurations\n"
-    )
+    print(f"Average latency (ms) over {num_models} NASBench models, V1-derived " "configurations\n")
     header = "PEs \\ I/O bandwidth" + "".join(f"{bw:>12.1f} GB/s" for bw in bandwidths)
     print(header)
     baseline = None

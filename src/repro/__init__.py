@@ -10,6 +10,7 @@ The package is organized as:
 * :mod:`repro.pipeline` — experiment orchestration (train/evaluate grids with caching);
 * :mod:`repro.service` — resumable sharded measurement store and sweep query service;
 * :mod:`repro.search` — hardware-aware architecture search (evolution / predictor-guided);
+* :mod:`repro.hwspace` — accelerator design-space exploration (grids, hardware Pareto, co-search);
 * :mod:`repro.analysis` — the characterization study (tables and figures).
 
 The most common entry points are re-exported here.
@@ -21,7 +22,15 @@ from .arch import (
     EDGE_TPU_V3,
     STUDIED_CONFIGS,
     AcceleratorConfig,
+    ConfigTable,
     get_config,
+)
+from .hwspace import (
+    AcceleratorSpace,
+    CoSearchEngine,
+    CoSearchResult,
+    CoSearchSpec,
+    HardwareFrontier,
 )
 from .analysis import ParetoArchive
 from .core import GraphTable, LearnedPerformanceModel, TrainingSettings
@@ -50,10 +59,13 @@ from .nasbench import (
 from .pipeline import (
     Experiment,
     ExperimentResult,
+    HardwareSweepExperiment,
+    HardwareSweepResult,
     PopulationSpec,
     SearchExperiment,
     SearchExperimentResult,
     run_experiment,
+    run_hardware_sweep,
     run_search_experiment,
 )
 from .search import SearchEngine, SearchResult, SearchSpec
@@ -69,9 +81,14 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AcceleratorConfig",
+    "AcceleratorSpace",
     "BatchSimulator",
     "Cell",
+    "CoSearchEngine",
+    "CoSearchResult",
+    "CoSearchSpec",
     "CompilationError",
+    "ConfigTable",
     "DatasetError",
     "EDGE_TPU_V1",
     "EDGE_TPU_V2",
@@ -79,6 +96,9 @@ __all__ = [
     "Experiment",
     "ExperimentResult",
     "GraphTable",
+    "HardwareFrontier",
+    "HardwareSweepExperiment",
+    "HardwareSweepResult",
     "InvalidCellError",
     "InvalidConfigError",
     "LayerTable",
@@ -111,6 +131,7 @@ __all__ = [
     "get_config",
     "mutate_cell",
     "run_experiment",
+    "run_hardware_sweep",
     "run_search_experiment",
     "sample_unique_cells",
     "__version__",

@@ -122,19 +122,29 @@ class ParetoArchive:
     # Updates
     # ------------------------------------------------------------------ #
     def update(
-        self, cell: Cell, cost: float, accuracy: float, generation: int = 0
+        self,
+        cell: Cell,
+        cost: float,
+        accuracy: float,
+        generation: int = 0,
+        key: str | None = None,
     ) -> bool:
         """Offer one evaluated point; returns ``True`` if it joins the front.
 
         A point enters iff no archived entry weakly dominates it; entries it
         dominates are evicted.  Non-finite costs (penalized or unavailable
         measurements) never enter.
+
+        Entries are identified by *key*, defaulting to the cell's isomorphism
+        fingerprint.  Searches whose points are not plain cells — the
+        hardware co-search archives (cell, configuration) pairs — pass an
+        explicit key so the same cell may appear once per configuration.
         """
         cost = float(cost)
         accuracy = float(accuracy)
         if not np.isfinite(cost) or not np.isfinite(accuracy):
             return False
-        fingerprint = cell.fingerprint
+        fingerprint = cell.fingerprint if key is None else str(key)
         if fingerprint in self._entries:
             return False
         if any(entry.dominates(cost, accuracy) for entry in self._entries.values()):

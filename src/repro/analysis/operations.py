@@ -126,9 +126,7 @@ def latency_extremes_for_conv_count(
         if record.metrics.num_conv3x3 == num_conv3x3
     ]
     if len(candidates) < 2:
-        raise DatasetError(
-            f"need at least two models with {num_conv3x3} conv3x3 operations"
-        )
+        raise DatasetError(f"need at least two models with {num_conv3x3} conv3x3 operations")
     latencies = measurements.latencies(config_name)
 
     def to_extreme(record: ModelRecord) -> LatencyExtremeCell:

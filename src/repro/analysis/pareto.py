@@ -71,9 +71,7 @@ def pareto_front_mask(latencies: np.ndarray, accuracies: np.ndarray) -> np.ndarr
     # lexsort is stable and keys right-to-left: latency is primary.
     order = np.lexsort((-accuracies, latencies))
     ordered_accuracy = accuracies[order]
-    best_before = np.concatenate(
-        [[-np.inf], np.maximum.accumulate(ordered_accuracy)[:-1]]
-    )
+    best_before = np.concatenate([[-np.inf], np.maximum.accumulate(ordered_accuracy)[:-1]])
     mask = np.zeros(latencies.size, dtype=bool)
     mask[order[ordered_accuracy > best_before]] = True
     return mask

@@ -109,7 +109,9 @@ def parameters_by_depth(dataset: NASBenchDataset) -> list[DepthParameterRow]:
     return rows
 
 
-def optimal_structure(dataset: NASBenchDataset, min_group_size: int | None = None) -> dict[str, int]:
+def optimal_structure(
+    dataset: NASBenchDataset, min_group_size: int | None = None
+) -> dict[str, int]:
     """Depth and width with the highest median accuracy (paper: depth 3, width 5).
 
     Groups smaller than *min_group_size* (default: 1% of the population, at

@@ -180,9 +180,7 @@ def _swap_matrix_vectorized(
     """
     pairs = [(a, b) for a in SWAP_OPERATIONS for b in SWAP_OPERATIONS if a != b]
     networks = []
-    pair_indices: dict[tuple[str, str], list[tuple[int, int]]] = {
-        pair: [] for pair in pairs
-    }
+    pair_indices: dict[tuple[str, str], list[tuple[int, int]]] = {pair: [] for pair in pairs}
     for record in records:
         baseline_index = len(networks)
         networks.append(build_network(record.cell, network_config))

@@ -10,7 +10,13 @@ from .config import (
     AcceleratorConfig,
     get_config,
 )
-from .energy import EnergyParameters, energy_parameters_for
+from .config_table import ConfigTable
+from .energy import (
+    EnergyParameters,
+    EnergyTable,
+    energy_parameters_for,
+    energy_parameters_table,
+)
 from .interconnect import (
     bandwidth_efficiency,
     on_chip_bytes_per_cycle,
@@ -21,10 +27,12 @@ from .memory import MemoryBudget, activation_reserve_bytes, parameter_cache_capa
 
 __all__ = [
     "AcceleratorConfig",
+    "ConfigTable",
     "EDGE_TPU_V1",
     "EDGE_TPU_V2",
     "EDGE_TPU_V3",
     "EnergyParameters",
+    "EnergyTable",
     "KIB",
     "MIB",
     "MemoryBudget",
@@ -32,6 +40,7 @@ __all__ = [
     "activation_reserve_bytes",
     "bandwidth_efficiency",
     "energy_parameters_for",
+    "energy_parameters_table",
     "get_config",
     "on_chip_bytes_per_cycle",
     "parameter_cache_capacity",

@@ -15,7 +15,7 @@ with ``macs_per_lane = 4`` (e.g. V1: 2 * 16 * 4 * 64 * 4 * 800 MHz =
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, fields, replace
 
 from ..errors import InvalidConfigError
 
@@ -66,9 +66,7 @@ class AcceleratorConfig:
         if self.io_bandwidth_gbps <= 0:
             raise InvalidConfigError(f"{self.name}: I/O bandwidth must be positive")
         if not 0.0 <= self.pe_memory_cache_fraction <= 1.0:
-            raise InvalidConfigError(
-                f"{self.name}: pe_memory_cache_fraction must be within [0, 1]"
-            )
+            raise InvalidConfigError(f"{self.name}: pe_memory_cache_fraction must be within [0, 1]")
 
     # ------------------------------------------------------------------ #
     # Derived compute quantities
@@ -133,8 +131,23 @@ class AcceleratorConfig:
         """Return a copy of the configuration with some fields replaced.
 
         This is the hook used for architecture exploration (for example the
-        tile-size ablation discussed in Section 6.1 of the paper).
+        tile-size ablation discussed in Section 6.1 of the paper, and the
+        :class:`~repro.hwspace.AcceleratorSpace` design-space grids).
+
+        Raises
+        ------
+        InvalidConfigError
+            If an override names a field :class:`AcceleratorConfig` does not
+            have, or if the resulting configuration violates an invariant.
         """
+        known = {spec.name for spec in fields(self)}
+        unknown = sorted(set(overrides) - known)
+        if unknown:
+            raise InvalidConfigError(
+                f"{self.name}: unknown configuration field(s) "
+                f"{', '.join(repr(name) for name in unknown)}; valid fields are "
+                f"{', '.join(sorted(known))}"
+            )
         return replace(self, **overrides)
 
     def summary(self) -> dict[str, object]:

@@ -28,6 +28,9 @@ The constants are calibrated so the magnitudes land in the paper's range
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
 
 from .config import MIB, AcceleratorConfig
 
@@ -89,4 +92,46 @@ def energy_parameters_for(config: AcceleratorConfig) -> EnergyParameters:
         dram_byte_energy_pj=_DRAM_BYTE_PJ,
         static_power_w=static_power,
         available=config.name.upper() != "V3",
+    )
+
+
+@dataclass(frozen=True)
+class EnergyTable:
+    """Per-configuration energy coefficients as ``(num_configs, 1)`` columns.
+
+    The config-axis analogue of :class:`EnergyParameters`: the coefficient
+    attribute names match, so the energy kernels in
+    :mod:`repro.simulator.energy` broadcast over either form unchanged.
+    ``available`` is the per-config availability mask (shape
+    ``(num_configs,)``); rows without a published energy model are masked to
+    NaN by the batch engine after the shared arithmetic.
+    """
+
+    mac_energy_pj: np.ndarray
+    idle_lane_energy_pj: np.ndarray
+    sram_byte_energy_pj: np.ndarray
+    dram_byte_energy_pj: np.ndarray
+    static_power_w: np.ndarray
+    available: np.ndarray
+
+
+def energy_parameters_table(configs: Iterable[AcceleratorConfig]) -> EnergyTable:
+    """Stack :func:`energy_parameters_for` over a batch of configurations.
+
+    Each coefficient becomes a ``(num_configs, 1)`` column built from the
+    scalar derivation, so the config-axis energy path reuses the per-config
+    values verbatim.
+    """
+    params = [energy_parameters_for(config) for config in configs]
+
+    def column(attribute: str) -> np.ndarray:
+        return np.array([getattr(p, attribute) for p in params], dtype=np.float64)[:, None]
+
+    return EnergyTable(
+        mac_energy_pj=column("mac_energy_pj"),
+        idle_lane_energy_pj=column("idle_lane_energy_pj"),
+        sram_byte_energy_pj=column("sram_byte_energy_pj"),
+        dram_byte_energy_pj=column("dram_byte_energy_pj"),
+        static_power_w=column("static_power_w"),
+        available=np.array([p.available for p in params], dtype=bool),
     )

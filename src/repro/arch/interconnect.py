@@ -10,11 +10,16 @@ sustain a larger fraction of the peak off-chip bandwidth.
 The model here captures that first-order effect: the sustained bandwidth is
 the peak I/O bandwidth scaled by an efficiency factor that saturates with the
 number of PEs.
+
+All functions are elementwise: they accept one scalar
+:class:`~repro.arch.config.AcceleratorConfig` or a
+:class:`~repro.arch.config_table.ConfigTable` whose columns broadcast, so the
+same formulas serve the per-config and the config-axis vectorized paths.
 """
 
 from __future__ import annotations
 
-import math
+import numpy as np
 
 from .config import AcceleratorConfig
 
@@ -30,25 +35,31 @@ _MAX_EFFICIENCY = 0.46
 _SATURATION_PES = 6.0
 
 
-def bandwidth_efficiency(num_pes: int) -> float:
-    """Fraction of peak I/O bandwidth sustained by a design with *num_pes* PEs."""
-    if num_pes <= 0:
+def bandwidth_efficiency(num_pes):
+    """Fraction of peak I/O bandwidth sustained by a design with *num_pes* PEs.
+
+    Elementwise: accepts one PE count (returning a plain ``float``) or an
+    array of per-configuration counts.
+    """
+    pes = np.asarray(num_pes, dtype=np.float64)
+    if np.any(pes <= 0):
         raise ValueError("number of PEs must be positive")
     headroom = _MAX_EFFICIENCY - _BASE_EFFICIENCY
-    return _BASE_EFFICIENCY + headroom * (1.0 - math.exp(-num_pes / _SATURATION_PES))
+    efficiency = _BASE_EFFICIENCY + headroom * (1.0 - np.exp(-pes / _SATURATION_PES))
+    return float(efficiency) if np.ndim(num_pes) == 0 else efficiency
 
 
-def sustained_bandwidth_bytes_per_second(config: AcceleratorConfig) -> float:
-    """Sustained off-chip bandwidth of *config* in bytes per second."""
+def sustained_bandwidth_bytes_per_second(config: AcceleratorConfig):
+    """Sustained off-chip bandwidth in bytes per second (elementwise)."""
     return config.io_bandwidth_bytes_per_second * bandwidth_efficiency(config.num_pes)
 
 
-def sustained_bytes_per_cycle(config: AcceleratorConfig) -> float:
-    """Sustained off-chip bandwidth of *config* in bytes per accelerator cycle."""
+def sustained_bytes_per_cycle(config: AcceleratorConfig):
+    """Sustained off-chip bandwidth in bytes per accelerator cycle (elementwise)."""
     return sustained_bandwidth_bytes_per_second(config) / config.clock_hz
 
 
-def on_chip_bytes_per_cycle(config: AcceleratorConfig) -> float:
+def on_chip_bytes_per_cycle(config: AcceleratorConfig):
     """Aggregate on-chip (PE memory to core memory) bandwidth in bytes/cycle.
 
     Cached weights are copied from the PE-memory parameter cache into the

@@ -40,9 +40,7 @@ def activation_reserve_bytes(config: AcceleratorConfig, max_layer_activation_byt
     Elementwise: accepts one scalar (returning a plain ``int``) or an array of
     per-model maxima.
     """
-    reserve = np.minimum(
-        2 * max_layer_activation_bytes, config.total_pe_memory_bytes
-    )
+    reserve = np.minimum(2 * max_layer_activation_bytes, config.total_pe_memory_bytes)
     return reserve if isinstance(reserve, np.ndarray) else int(reserve)
 
 

@@ -40,9 +40,24 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..arch.config import AcceleratorConfig
+from ..arch.config_table import ConfigTable
 from ..arch.memory import MemoryBudget, parameter_cache_bytes, parameter_cache_capacity
 from ..nasbench.layer_table import LayerTable
 from ..nasbench.network import LayerSpec
+
+
+#: The AcceleratorConfig fields :func:`plan_cache_table` reads (via the
+#: capacity formulas in :mod:`repro.arch.memory`).  Configs agreeing on them
+#: plan identically; the grid engine exploits that exactly like the mapping
+#: kernel's field set.  Keep in sync with the kernel body.
+CACHE_CONFIG_FIELDS: tuple[str, ...] = (
+    "pes_x",
+    "pes_y",
+    "cores_per_pe",
+    "pe_memory_bytes",
+    "core_memory_bytes",
+    "pe_memory_cache_fraction",
+)
 
 
 @dataclass(frozen=True)
@@ -129,13 +144,17 @@ def greedy_cache_assign(
     model_offsets:
         Segment offsets delimiting the models (``len(models) + 1`` entries).
     effective_capacity:
-        Per-model effective cache capacity in bytes.
+        Effective cache capacity in bytes.  Either per-model, shape
+        ``(num_models,)``, or batched over a leading configuration axis,
+        shape ``(num_configs, num_models)`` — the capacity is the only
+        config-dependent input, so one scan plans every configuration.
 
     Returns
     -------
     np.ndarray
-        Boolean mask over the layer rows: ``True`` where the layer's weights
-        are resident on-chip.  Within each model the selection is identical to
+        Boolean mask over the layer rows (with the same leading batch axis
+        as *effective_capacity*): ``True`` where the layer's weights are
+        resident on-chip.  Within each model the selection is identical to
         the scalar greedy scan: layers sorted by descending weight (stable, so
         ties keep topological order), a layer cached only if it fits entirely
         in the remaining effective capacity.
@@ -143,7 +162,9 @@ def greedy_cache_assign(
     weights = np.asarray(weight_bytes, dtype=np.int64)
     offsets = np.asarray(model_offsets, dtype=np.int64)
     num_models = len(offsets) - 1
-    cached_mask = np.zeros(weights.shape[0], dtype=bool)
+    effective = np.asarray(effective_capacity, dtype=np.int64)
+    batch_shape = effective.shape[:-1]
+    cached_mask = np.zeros(batch_shape + (weights.shape[0],), dtype=bool)
 
     weighted_rows = np.flatnonzero(weights > 0)
     if weighted_rows.size == 0:
@@ -151,39 +172,43 @@ def greedy_cache_assign(
     model_ids = np.repeat(np.arange(num_models), np.diff(offsets))
 
     # Stable sort: model-major, then descending weight, ties in row order.
-    order = weighted_rows[
-        np.lexsort((-weights[weighted_rows], model_ids[weighted_rows]))
-    ]
+    # The order is config-independent, so the batched scan shares it.
+    order = weighted_rows[np.lexsort((-weights[weighted_rows], model_ids[weighted_rows]))]
     sorted_weights = weights[order]
     counts = np.bincount(model_ids[order], minlength=num_models)
     starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
 
-    effective = np.asarray(effective_capacity, dtype=np.int64)
-    cached_bytes = np.zeros(num_models, dtype=np.int64)
-    fits_flags = np.zeros(sorted_weights.shape[0], dtype=bool)
-    # Greedy scan vectorized over models: iterate size ranks (bounded by the
-    # deepest model, ~tens), deciding the rank-j layer of every model at once.
+    cached_bytes = np.zeros(batch_shape + (num_models,), dtype=np.int64)
+    fits_flags = np.zeros(batch_shape + (sorted_weights.shape[0],), dtype=bool)
+    # Greedy scan vectorized over models (and configs): iterate size ranks
+    # (bounded by the deepest model, ~tens), deciding the rank-j layer of
+    # every model of every configuration at once.
     for rank in range(int(counts.max())):
         active = counts > rank
         rows = starts[active] + rank
-        fits = cached_bytes[active] + sorted_weights[rows] <= effective[active]
-        cached_bytes[active] += sorted_weights[rows] * fits
-        fits_flags[rows] = fits
+        fits = cached_bytes[..., active] + sorted_weights[rows] <= effective[..., active]
+        cached_bytes[..., active] += sorted_weights[rows] * fits
+        fits_flags[..., rows] = fits
 
-    cached_mask[order] = fits_flags
+    cached_mask[..., order] = fits_flags
     return cached_mask
 
 
 def plan_cache_table(
     table: LayerTable,
-    config: AcceleratorConfig,
+    config: AcceleratorConfig | ConfigTable,
     enable_caching: bool = True,
 ) -> CacheTable:
     """Plan the parameter cache for every model of *table* on *config*.
 
     Array form of :func:`plan_parameter_cache`: capacities, effective
     capacities and the greedy selection are computed for all model segments in
-    one vectorized pass.
+    one vectorized pass.  With a
+    :class:`~repro.arch.config_table.ConfigTable` the capacity — the only
+    config-dependent input — gains a leading configuration axis and the whole
+    plan is produced for every configuration at once (per-model arrays of
+    shape ``(num_configs, num_models)``, per-layer arrays of shape
+    ``(num_configs, num_layers)``).
     """
     weights = table.weight_bytes
     starts = table.segment_starts
@@ -194,13 +219,14 @@ def plan_cache_table(
     capacity = parameter_cache_bytes(config, max_activation)
 
     if not enable_caching:
+        mask_shape = capacity.shape[:-1] + (len(weights),)
         return CacheTable(
             capacity_bytes=capacity,
             effective_capacity_bytes=np.zeros_like(capacity),
             total_weight_bytes=total_weight,
-            cached_bytes=np.zeros_like(total_weight),
-            cached_mask=np.zeros(len(weights), dtype=bool),
-            streamed_bytes=weights.copy(),
+            cached_bytes=np.zeros(capacity.shape, dtype=np.int64),
+            cached_mask=np.zeros(mask_shape, dtype=bool),
+            streamed_bytes=np.broadcast_to(weights, mask_shape).copy(),
         )
 
     effective = effective_cache_capacity_array(total_weight, capacity)
@@ -210,7 +236,7 @@ def plan_cache_table(
         capacity_bytes=capacity,
         effective_capacity_bytes=effective,
         total_weight_bytes=total_weight,
-        cached_bytes=np.add.reduceat(cached_weights, starts),
+        cached_bytes=np.add.reduceat(cached_weights, starts, axis=-1),
         cached_mask=cached_mask,
         streamed_bytes=weights - cached_weights,
     )

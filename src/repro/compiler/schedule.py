@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..arch.config import AcceleratorConfig
+from ..arch.config_table import ConfigTable
 from ..nasbench.layer_table import LayerTable
 from ..nasbench.network import LayerSpec, NetworkSpec
 from .param_cache import CachePlan, CacheTable
@@ -79,9 +80,12 @@ class CompiledTable:
 
     The per-layer arrays of ``mapping`` and ``cache`` are aligned with the
     rows of ``table``; per-model quantities use the table's segment offsets.
+    When compiled against a :class:`~repro.arch.config_table.ConfigTable`,
+    every array additionally carries a leading configuration axis
+    (``(num_configs, num_layers)`` / ``(num_configs, num_models)``).
     """
 
-    config: AcceleratorConfig
+    config: AcceleratorConfig | ConfigTable
     table: LayerTable
     mapping: MappingTable
     cache: CacheTable
@@ -104,4 +108,4 @@ class CompiledTable:
     @property
     def total_compute_cycles(self) -> np.ndarray:
         """Per-model sum of datapath cycles (no memory stalls or overheads)."""
-        return self.table.segment_sum(self.mapping.compute_cycles)
+        return np.add.reduceat(self.mapping.compute_cycles, self.table.segment_starts, axis=-1)

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..arch.config import AcceleratorConfig
+from ..arch.config_table import ConfigTable
 from ..errors import CompilationError
 from ..nasbench.layer_table import (
     CODE_ADD,
@@ -36,6 +37,19 @@ from ..nasbench.network import LayerSpec
 #: Cycle-count penalty of the alternative mapping that spreads output pixels
 #: across the cores of a PE (they contend for the shared PE memory ports).
 _CORE_SPATIAL_PENALTY = 1.15
+
+#: The AcceleratorConfig fields :func:`map_layer_table` reads.  Configs that
+#: agree on them map identically, which lets the grid engine run the kernel
+#: once per distinct sub-configuration (a clock or I/O-bandwidth axis never
+#: re-runs the mapping).  Keep in sync with the kernel body.
+MAPPING_CONFIG_FIELDS: tuple[str, ...] = (
+    "pes_x",
+    "pes_y",
+    "cores_per_pe",
+    "compute_lanes",
+    "macs_per_lane",
+    "core_memory_bytes",
+)
 
 
 @dataclass(frozen=True)
@@ -97,21 +111,27 @@ class MappingTable:
         )
 
 
-def map_layer_table(table: LayerTable, config: AcceleratorConfig) -> MappingTable:
+def map_layer_table(
+    table: LayerTable, config: AcceleratorConfig | ConfigTable
+) -> MappingTable:
     """Map every layer row of *table* onto *config* in one vectorized pass.
 
     Both the MAC-datapath and the vector-path mappings are evaluated for all
     rows and the applicable one selected per row; the redundant arithmetic is
     cheaper than fancy indexing at population scale.
+
+    *config* may be one :class:`AcceleratorConfig` (mapping arrays of shape
+    ``(num_layers,)``) or a :class:`~repro.arch.config_table.ConfigTable`
+    whose ``(num_configs, 1)`` columns broadcast the whole mapping over the
+    configuration axis in the same pass (arrays of shape
+    ``(num_configs, num_layers)``).
     """
     out_pixels = table.output_height * table.output_width
     if np.any(out_pixels <= 0):
         row = int(np.argmax(out_pixels <= 0))
         model = int(np.searchsorted(table.model_offsets, row, side="right")) - 1
         layer = row - int(table.model_offsets[model])
-        raise CompilationError(
-            f"layer {layer} of model {model} produces no output pixels"
-        )
+        raise CompilationError(f"layer {layer} of model {model} produces no output pixels")
 
     code = table.kind_codes
     is_mac = table.is_mac
@@ -128,9 +148,7 @@ def map_layer_table(table: LayerTable, config: AcceleratorConfig) -> MappingTabl
     # Mapping (a), "channel-major": output pixels across PEs, output channels
     # across the cores and SIMD lanes of each PE (Figure 2 of the paper).
     num_pes = config.num_pes
-    pe_channel_split = np.where(
-        out_pixels < num_pes, np.maximum(1, num_pes // out_pixels), 1
-    )
+    pe_channel_split = np.where(out_pixels < num_pes, np.maximum(1, num_pes // out_pixels), 1)
     channel_slots_a = config.cores_per_pe * config.compute_lanes * pe_channel_split
     spatial_tiles_a = ceil_div(out_pixels, num_pes)
     channel_tiles_a = ceil_div(out_channels, channel_slots_a)
@@ -178,9 +196,7 @@ def map_layer_table(table: LayerTable, config: AcceleratorConfig) -> MappingTabl
     # --- Combine ------------------------------------------------------- #
     compute_cycles = np.where(is_mac, mac_cycles, vector_cycles)
     issued_macs = compute_cycles * config.macs_per_cycle
-    utilization = np.where(
-        is_mac, np.minimum(table.macs / np.maximum(issued_macs, 1), 1.0), 0.0
-    )
+    utilization = np.where(is_mac, np.minimum(table.macs / np.maximum(issued_macs, 1), 1.0), 0.0)
     weight_passes = np.where(
         table.weight_bytes > 0,
         ceil_div(table.weight_bytes, config.total_core_memory_bytes),

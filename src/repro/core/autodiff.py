@@ -345,9 +345,7 @@ def layer_norm(a: Tensor, scale: Tensor, offset: Tensor, epsilon: float = 1e-5) 
 def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
     """Mean squared error between two tensors of identical shape."""
     if prediction.shape != target.shape:
-        raise ModelError(
-            f"mse_loss shape mismatch: {prediction.shape} vs {target.shape}"
-        )
+        raise ModelError(f"mse_loss shape mismatch: {prediction.shape} vs {target.shape}")
     diff = subtract(prediction, target)
     return mean(multiply(diff, diff))
 

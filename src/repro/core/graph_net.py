@@ -94,9 +94,7 @@ class IndependentBlock(Module):
     ):
         self.edge_model = MLP(edge_sizes[0], hidden_size, edge_sizes[1], rng, use_layer_norm)
         self.node_model = MLP(node_sizes[0], hidden_size, node_sizes[1], rng, use_layer_norm)
-        self.global_model = MLP(
-            global_sizes[0], hidden_size, global_sizes[1], rng, use_layer_norm
-        )
+        self.global_model = MLP(global_sizes[0], hidden_size, global_sizes[1], rng, use_layer_norm)
 
     def __call__(self, graphs: BatchedGraphs) -> BatchedGraphs:
         return graphs.replace(
@@ -169,9 +167,7 @@ class GraphNetBlock(Module):
         global_inputs = concat([graphs.globals_, edge_aggregate, node_aggregate], axis=1)
         updated_globals = self.global_model(global_inputs)
 
-        return graphs.replace(
-            nodes=updated_nodes, edges=updated_edges, globals_=updated_globals
-        )
+        return graphs.replace(nodes=updated_nodes, edges=updated_edges, globals_=updated_globals)
 
 
 def concat_graphs(a: BatchedGraphs, b: BatchedGraphs) -> BatchedGraphs:

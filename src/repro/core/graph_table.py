@@ -184,9 +184,7 @@ class GraphTable:
         if indices.ndim != 1 or indices.size == 0:
             raise ModelError("graph indices must be a non-empty 1-D array")
         if indices.min() < 0 or indices.max() >= self.num_graphs:
-            raise ModelError(
-                f"graph index out of range for a table of {self.num_graphs} graphs"
-            )
+            raise ModelError(f"graph index out of range for a table of {self.num_graphs} graphs")
         node_counts = self.node_counts[indices]
         edge_counts = self.edge_counts[indices]
         node_rows = _segment_rows(self.node_offsets[indices], node_counts)

@@ -90,9 +90,7 @@ def metric_targets(
                 "train a learned energy estimator for it"
             )
         return energies
-    raise ModelError(
-        f"unknown metric {metric!r}; expected one of {SUPPORTED_METRICS}"
-    )
+    raise ModelError(f"unknown metric {metric!r}; expected one of {SUPPORTED_METRICS}")
 
 
 def table_digest(table: GraphTable) -> str:
@@ -204,12 +202,8 @@ class LearnedPerformanceModel:
             from ..arch.config import get_config
             from ..simulator.batch import BatchSimulator  # deferred: import cycle
 
-            simulator = BatchSimulator(
-                enable_parameter_caching=enable_parameter_caching
-            )
-            measurements = simulator.evaluate(
-                dataset, configs=[get_config(self.config_name)]
-            )
+            simulator = BatchSimulator(enable_parameter_caching=enable_parameter_caching)
+            measurements = simulator.evaluate(dataset, configs=[get_config(self.config_name)])
         targets = metric_targets(measurements, self.config_name, metric)
         cells = [record.cell for record in dataset]
         return self.fit(cells, targets)

@@ -1,0 +1,262 @@
+"""Validated parameter grids over :class:`AcceleratorConfig`.
+
+The paper does not evaluate three arbitrary accelerators — V1/V2/V3 are
+points in a microarchitectural design space (PE array geometry, on-chip
+memories, clock, SIMD width, I/O bandwidth) whose shape is the real subject
+of the study.  :class:`AcceleratorSpace` makes that space a first-class
+object: a finite, validated grid of per-field value axes around a base
+configuration, with deterministic enumeration, random sampling and a
+one-step :meth:`~AcceleratorSpace.neighbors` move set for local search.
+
+Every grid point is materialized through
+:meth:`AcceleratorConfig.with_overrides`, so the dataclass invariants
+(positive clocks, memories, PE grids, a cache fraction in ``[0, 1]``) hold
+for every configuration the space can ever produce, and each point is named
+``hw-<digest>`` after a stable content digest of its parameter values — the
+name under which the measurement store shards its results, so sweeps over a
+space are resumable per configuration.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import fields
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..arch.config import EDGE_TPU_V1, AcceleratorConfig
+from ..errors import InvalidConfigError
+from ..service.store import stable_digest
+
+#: AcceleratorConfig fields a space may put an axis on (Table 2 parameters;
+#: the overhead constants and legacy entry counts are not searched).
+SEARCHABLE_FIELDS: tuple[str, ...] = (
+    "clock_mhz",
+    "pes_x",
+    "pes_y",
+    "pe_memory_bytes",
+    "cores_per_pe",
+    "core_memory_bytes",
+    "compute_lanes",
+    "macs_per_lane",
+    "pe_memory_cache_fraction",
+    "io_bandwidth_gbps",
+)
+
+_FIELD_TYPES: dict[str, str] = {spec.name: str(spec.type) for spec in fields(AcceleratorConfig)}
+
+
+def config_digest(config: AcceleratorConfig) -> str:
+    """Stable content digest of a configuration's parameters (name excluded).
+
+    Two configurations with identical parameter values share a digest no
+    matter how they were constructed or named; the digest keys measurement
+    shards, frontier points and co-search archive entries.
+    """
+    payload = {
+        spec.name: getattr(config, spec.name)
+        for spec in fields(config)
+        if spec.name != "name"
+    }
+    return stable_digest({"kind": "accelerator-config", **payload})
+
+
+def _coerce(field_name: str, value: object) -> int | float:
+    """Normalize one axis value to its field's declared numeric type."""
+    if isinstance(value, bool) or not isinstance(value, (int, float, np.integer, np.floating)):
+        raise InvalidConfigError(f"axis {field_name!r} has non-numeric value {value!r}")
+    if _FIELD_TYPES[field_name] == "int":
+        if float(value) != int(value):
+            raise InvalidConfigError(f"axis {field_name!r} needs integer values, got {value!r}")
+        return int(value)
+    return float(value)
+
+
+class AcceleratorSpace:
+    """A finite grid of accelerator configurations around a base design.
+
+    Parameters
+    ----------
+    axes:
+        Mapping from an :class:`AcceleratorConfig` field name (one of
+        :data:`SEARCHABLE_FIELDS`) to the values that field may take.  Axes
+        are normalized — values coerced to the field's type, sorted
+        ascending — so the same grid always has the same :attr:`digest`
+        regardless of how it was written down.  Every value is validated
+        eagerly by building the corresponding configuration.
+    base:
+        The configuration supplying every non-axis field (defaults to the
+        paper's V1).
+
+    Raises
+    ------
+    InvalidConfigError
+        On an unknown or unsearchable field, an empty or duplicated axis, a
+        non-numeric value, or a value the configuration invariants reject.
+    """
+
+    def __init__(
+        self,
+        axes: Mapping[str, Sequence[int | float]],
+        base: AcceleratorConfig = EDGE_TPU_V1,
+    ):
+        if not axes:
+            raise InvalidConfigError("an AcceleratorSpace needs at least one axis")
+        unknown = sorted(set(axes) - set(SEARCHABLE_FIELDS))
+        if unknown:
+            raise InvalidConfigError(
+                f"unsearchable or unknown field(s) {', '.join(map(repr, unknown))}; "
+                f"axes must be among {', '.join(SEARCHABLE_FIELDS)}"
+            )
+        normalized: list[tuple[str, tuple[int | float, ...]]] = []
+        for field_name in sorted(axes):
+            raw_values = list(axes[field_name])
+            if not raw_values:
+                raise InvalidConfigError(f"axis {field_name!r} has no values")
+            values = [_coerce(field_name, value) for value in raw_values]
+            if len(set(values)) != len(values):
+                raise InvalidConfigError(f"axis {field_name!r} has duplicate values")
+            for value in values:
+                # Eager validation: a bad value fails at construction, not
+                # mid-sweep.  Single-field checks suffice because every
+                # AcceleratorConfig invariant is per-field.
+                base.with_overrides(**{field_name: value})
+            normalized.append((field_name, tuple(sorted(values))))
+        self.axes: tuple[tuple[str, tuple[int | float, ...]], ...] = tuple(normalized)
+        self.base = base
+
+    # ------------------------------------------------------------------ #
+    # Shape and identity
+    # ------------------------------------------------------------------ #
+    @property
+    def axis_fields(self) -> tuple[str, ...]:
+        """The field names carrying an axis, in canonical (sorted) order."""
+        return tuple(field_name for field_name, _ in self.axes)
+
+    @property
+    def size(self) -> int:
+        """Number of grid points."""
+        product = 1
+        for _, values in self.axes:
+            product *= len(values)
+        return product
+
+    @property
+    def digest(self) -> str:
+        """Stable content digest of the whole space (base parameters + axes).
+
+        Independent of axis insertion order and of the base configuration's
+        name; used to key cached hardware-sweep experiments.
+        """
+        return stable_digest(
+            {
+                "kind": "accelerator-space",
+                "base": {
+                    spec.name: getattr(self.base, spec.name)
+                    for spec in fields(self.base)
+                    if spec.name != "name"
+                },
+                "axes": [[field_name, list(values)] for field_name, values in self.axes],
+            }
+        )
+
+    def __len__(self) -> int:
+        return self.size
+
+    # ------------------------------------------------------------------ #
+    # Materialization
+    # ------------------------------------------------------------------ #
+    def _materialize(self, overrides: dict[str, int | float]) -> AcceleratorConfig:
+        """Build one grid point, named after its parameter digest.
+
+        Because the ``hw-<digest>`` name replaces the studied names, every
+        grid point carries the derived energy model — including points whose
+        parameters equal V3's.  That is deliberate: V3's NaN energy mirrors
+        the paper's missing *publication* for that specific device, not a
+        property of the parameters, and a design-space study needs energy
+        estimates for the whole grid.
+        """
+        config = self.base.with_overrides(**overrides)
+        return config.with_overrides(name=f"hw-{config_digest(config)}")
+
+    def at(self, coordinates: Sequence[int]) -> AcceleratorConfig:
+        """The grid point at per-axis value indices (canonical axis order)."""
+        if len(coordinates) != len(self.axes):
+            raise InvalidConfigError(
+                f"expected {len(self.axes)} coordinates, got {len(coordinates)}"
+            )
+        overrides = {}
+        for (field_name, values), index in zip(self.axes, coordinates):
+            if not 0 <= index < len(values):
+                raise InvalidConfigError(
+                    f"coordinate {index} out of range for axis {field_name!r} "
+                    f"({len(values)} values)"
+                )
+            overrides[field_name] = values[int(index)]
+        return self._materialize(overrides)
+
+    def enumerate(self) -> Iterator[AcceleratorConfig]:
+        """Yield every grid point in deterministic lexicographic order."""
+        for combination in itertools.product(*(values for _, values in self.axes)):
+            yield self._materialize(dict(zip(self.axis_fields, combination)))
+
+    def sample(self, rng: np.random.Generator) -> AcceleratorConfig:
+        """Draw one uniform random grid point."""
+        return self.at([int(rng.integers(len(values))) for _, values in self.axes])
+
+    # ------------------------------------------------------------------ #
+    # Grid membership and local moves
+    # ------------------------------------------------------------------ #
+    def coordinates(self, config: AcceleratorConfig) -> tuple[int, ...]:
+        """Per-axis value indices of *config*.
+
+        Raises :class:`InvalidConfigError` when the configuration is not a
+        point of this grid (an axis value off the axis, or a non-axis field
+        differing from the base).
+        """
+        coordinates = []
+        for field_name, values in self.axes:
+            value = getattr(config, field_name)
+            if value not in values:
+                raise InvalidConfigError(
+                    f"configuration {config.name!r} is not on the grid: "
+                    f"{field_name}={value!r} is not an axis value"
+                )
+            coordinates.append(values.index(value))
+        on_axis = set(self.axis_fields)
+        for spec in fields(config):
+            if spec.name in on_axis or spec.name == "name":
+                continue
+            if getattr(config, spec.name) != getattr(self.base, spec.name):
+                raise InvalidConfigError(
+                    f"configuration {config.name!r} is not on the grid: "
+                    f"{spec.name} differs from the base configuration"
+                )
+        return tuple(coordinates)
+
+    def __contains__(self, config: AcceleratorConfig) -> bool:
+        try:
+            self.coordinates(config)
+        except InvalidConfigError:
+            return False
+        return True
+
+    def neighbors(self, config: AcceleratorConfig) -> list[AcceleratorConfig]:
+        """All one-step grid moves from *config* (one axis, one value up/down).
+
+        This is the hardware mutation operator of the co-search: like the
+        cell mutations in :mod:`repro.nasbench.mutation`, every move is
+        validated by construction and deterministic in order (axis by axis,
+        smaller value first).
+        """
+        coordinates = list(self.coordinates(config))
+        moves = []
+        for axis_index, (_, values) in enumerate(self.axes):
+            for step in (-1, 1):
+                position = coordinates[axis_index] + step
+                if 0 <= position < len(values):
+                    shifted = list(coordinates)
+                    shifted[axis_index] = position
+                    moves.append(self.at(shifted))
+        return moves

@@ -158,9 +158,7 @@ class SurrogateAccuracyModel:
         depth_term = -0.0065 * ((metrics.depth - 3) ** 2) / 9.0
         width_term = 0.0045 * min(metrics.width, 5) / 5.0
         parameter_term = 0.010 * _squash_parameters(trainable_parameters)
-        noise_term = 0.024 * (
-            _fingerprint_unit_interval(fingerprint, f"noise:{self._seed}") - 0.5
-        )
+        noise_term = 0.024 * (_fingerprint_unit_interval(fingerprint, f"noise:{self._seed}") - 0.5)
 
         value = (
             base

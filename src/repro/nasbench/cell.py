@@ -22,7 +22,7 @@ import numpy as np
 
 from ..errors import InvalidCellError
 from . import ops as op_vocab
-from .ops import INPUT, MAX_EDGES, MAX_VERTICES, OUTPUT
+from .ops import MAX_EDGES, MAX_VERTICES
 
 
 def _as_matrix(matrix: Iterable[Iterable[int]]) -> np.ndarray:
@@ -126,9 +126,7 @@ class Cell:
                 "(vertices in topological order)"
             )
         if int(array.sum()) > MAX_EDGES:
-            raise InvalidCellError(
-                f"cell has {int(array.sum())} edges, the maximum is {MAX_EDGES}"
-            )
+            raise InvalidCellError(f"cell has {int(array.sum())} edges, the maximum is {MAX_EDGES}")
         try:
             op_vocab.validate_ops(self.ops)
         except ValueError as exc:

@@ -190,9 +190,7 @@ class NASBenchDataset:
 
     def accuracies(self) -> np.ndarray:
         """Mean validation accuracy of every record, as a float array."""
-        return np.array(
-            [record.mean_validation_accuracy for record in self._records], dtype=float
-        )
+        return np.array([record.mean_validation_accuracy for record in self._records], dtype=float)
 
     def parameter_counts(self) -> np.ndarray:
         """Trainable-parameter count of every record, as an int array."""

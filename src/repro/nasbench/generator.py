@@ -146,9 +146,7 @@ def random_cell(
             continue
         return pruned
 
-    raise DatasetError(
-        f"failed to draw a valid random cell after {max_attempts} attempts"
-    )
+    raise DatasetError(f"failed to draw a valid random cell after {max_attempts} attempts")
 
 
 def sample_unique_cells(

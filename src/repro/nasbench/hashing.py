@@ -43,9 +43,7 @@ def hash_graph(matrix: np.ndarray, labels: Sequence[int]) -> str:
     matrix = np.asarray(matrix)
     num_vertices = matrix.shape[0]
     if len(labels) != num_vertices:
-        raise ValueError(
-            f"matrix has {num_vertices} vertices but {len(labels)} labels were given"
-        )
+        raise ValueError(f"matrix has {num_vertices} vertices but {len(labels)} labels were given")
 
     in_degrees = matrix.sum(axis=0).tolist()
     out_degrees = matrix.sum(axis=1).tolist()

@@ -233,6 +233,4 @@ class LayerTable:
 
     def model_slice(self, model_index: int) -> slice:
         """Layer-row slice of one model."""
-        return slice(
-            int(self.model_offsets[model_index]), int(self.model_offsets[model_index + 1])
-        )
+        return slice(int(self.model_offsets[model_index]), int(self.model_offsets[model_index + 1]))

@@ -117,10 +117,7 @@ def _applicable_kinds(
         if kind == "edge_flip":
             applicable.append(kind)
         elif kind == "op_swap":
-            if any(
-                any(op != existing for op in interior_ops)
-                for existing in cell.interior_ops
-            ):
+            if any(any(op != existing for op in interior_ops) for existing in cell.interior_ops):
                 applicable.append(kind)
         elif kind == "vertex_add":
             if cell.num_vertices < max_vertices and cell.num_edges + 2 <= max_edges:
@@ -129,9 +126,7 @@ def _applicable_kinds(
             if cell.num_vertices > 2:
                 applicable.append(kind)
         else:
-            raise DatasetError(
-                f"unknown mutation kind {kind!r}; expected one of {MUTATION_KINDS}"
-            )
+            raise DatasetError(f"unknown mutation kind {kind!r}; expected one of {MUTATION_KINDS}")
     return applicable
 
 
@@ -159,9 +154,7 @@ def mutate_cell(
     """
     applicable = _applicable_kinds(cell, kinds, max_vertices, max_edges, interior_ops)
     if not applicable:
-        raise DatasetError(
-            f"no mutation kind of {tuple(kinds)} is applicable to {cell}"
-        )
+        raise DatasetError(f"no mutation kind of {tuple(kinds)} is applicable to {cell}")
     for _ in range(max_attempts):
         kind = applicable[int(rng.integers(len(applicable)))]
         try:

@@ -476,9 +476,7 @@ def build_network(cell: Cell, config: NetworkConfig | None = None) -> NetworkSpe
 
         for cell_index in range(config.cells_per_stack):
             prefix = f"stack{stack_index}/cell{cell_index}"
-            layers.extend(
-                build_cell_layers(pruned, in_channels, channels, height, width, prefix)
-            )
+            layers.extend(build_cell_layers(pruned, in_channels, channels, height, width, prefix))
             in_channels = channels
 
     layers.append(

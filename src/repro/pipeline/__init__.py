@@ -16,6 +16,11 @@ from .experiment import (
     PopulationSpec,
     stable_key,
 )
+from .hwspace import (
+    HardwareSweepExperiment,
+    HardwareSweepResult,
+    run_hardware_sweep,
+)
 from .runner import ExperimentResult, GridCellResult, run_experiment
 from .search import (
     SearchExperiment,
@@ -31,11 +36,14 @@ __all__ = [
     "ExperimentCache",
     "ExperimentResult",
     "GridCellResult",
+    "HardwareSweepExperiment",
+    "HardwareSweepResult",
     "PopulationSpec",
     "SearchExperiment",
     "SearchExperimentResult",
     "load_search_archive",
     "run_experiment",
+    "run_hardware_sweep",
     "run_search_experiment",
     "stable_key",
 ]

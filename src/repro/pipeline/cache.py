@@ -105,9 +105,7 @@ class ExperimentCache:
         *enable_parameter_caching* mode is part of every shard key and must
         match the mode the measurements were saved with.
         """
-        store = self.measurement_store(
-            key, enable_parameter_caching=enable_parameter_caching
-        )
+        store = self.measurement_store(key, enable_parameter_caching=enable_parameter_caching)
         config_names = store.available_configs()
         if not config_names:
             self.stats.measurement_misses += 1

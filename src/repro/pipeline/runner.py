@@ -79,7 +79,10 @@ class ExperimentResult:
             f"cache {self.cache_stats.hits} hits / {self.cache_stats.misses} misses, "
             f"{self.elapsed_seconds:.2f}s"
         ]
-        header = f"{'config':<8}{'metric':<10}{'accuracy':>10}{'spearman':>10}{'pearson':>10}{'cached':>8}"
+        header = (
+            f"{'config':<8}{'metric':<10}{'accuracy':>10}"
+            f"{'spearman':>10}{'pearson':>10}{'cached':>8}"
+        )
         lines.append(header)
         for (config_name, metric), cell in sorted(self.models.items()):
             lines.append(
@@ -123,9 +126,7 @@ def run_experiment(
 
     cache = ExperimentCache(Path(cache_dir)) if cache_dir is not None else None
     configs = [get_config(name) for name in experiment.config_names]
-    simulator = BatchSimulator(
-        enable_parameter_caching=experiment.enable_parameter_caching
-    )
+    simulator = BatchSimulator(enable_parameter_caching=experiment.enable_parameter_caching)
 
     if cache is not None:
         # Labeling goes through the resumable shard store: shards already on
@@ -195,9 +196,7 @@ def run_experiment(
             )
 
     if not models:
-        raise PipelineError(
-            "every grid cell of the experiment was skipped; nothing was trained"
-        )
+        raise PipelineError("every grid cell of the experiment was skipped; nothing was trained")
     return ExperimentResult(
         experiment=experiment,
         dataset=dataset,

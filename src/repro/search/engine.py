@@ -58,7 +58,28 @@ _MUTATION_ATTEMPTS = 30
 _INFEASIBLE_OFFSET = 1e6
 
 
-def _selection_scores(
+def oracle_accuracy(
+    cell: Cell,
+    network_config: NetworkConfig,
+    accuracy_model: SurrogateAccuracyModel,
+) -> float:
+    """Oracle accuracy of *cell* expanded with *network_config*.
+
+    The single accuracy lookup shared by the cell-only engine and the
+    hardware co-search (the surrogate's parameter term depends on the
+    macro-architecture, so the expansion must be part of the oracle).
+    """
+    metrics = compute_metrics(cell, prune=False)
+    network = build_network(cell, network_config)
+    return accuracy_model.mean_validation_accuracy(
+        cell,
+        fingerprint=cell.fingerprint,
+        metrics=metrics,
+        trainable_parameters=network.trainable_parameters,
+    )
+
+
+def selection_scores(
     costs: np.ndarray, accuracies: np.ndarray, min_accuracy: float
 ) -> np.ndarray:
     """Soft-penalized scores used for parent selection and pre-screening."""
@@ -185,7 +206,7 @@ class SearchEngine:
             objective = np.where(
                 np.isfinite(costs) & (accuracies >= spec.min_accuracy), costs, np.inf
             )
-            selection = _selection_scores(costs, accuracies, spec.min_accuracy)
+            selection = selection_scores(costs, accuracies, spec.min_accuracy)
             new_slice = slice(len(records) - len(candidates), len(records))
             population.extend(range(new_slice.start, new_slice.stop))
 
@@ -284,7 +305,7 @@ class SearchEngine:
         # Accuracy is an oracle lookup (no simulation), so the pre-screen can
         # apply the same feasibility penalty parent selection uses.
         pool_accuracies = np.array([self._accuracy_of(cell) for cell in pool])
-        scores = _selection_scores(predicted, pool_accuracies, spec.min_accuracy)
+        scores = selection_scores(predicted, pool_accuracies, spec.min_accuracy)
         order = np.argsort(scores, kind="stable")[: spec.population_size]
         return [pool[int(index)] for index in order]
 
@@ -359,17 +380,9 @@ class SearchEngine:
         """Oracle accuracy of *cell*, expanded with the engine's network config.
 
         Used for both history records and pool pre-screening, so feasibility
-        decisions always agree with the recorded accuracies (the surrogate's
-        parameter term depends on the macro-architecture).
+        decisions always agree with the recorded accuracies.
         """
-        metrics = compute_metrics(cell, prune=False)
-        network = build_network(cell, self.network_config)
-        return self.accuracy_model.mean_validation_accuracy(
-            cell,
-            fingerprint=cell.fingerprint,
-            metrics=metrics,
-            trainable_parameters=network.trainable_parameters,
-        )
+        return oracle_accuracy(cell, self.network_config, self.accuracy_model)
 
     def _record(self, cell: Cell, index: int) -> ModelRecord:
         """Build one history record incrementally (matches ``from_cells``)."""

@@ -64,9 +64,7 @@ class SearchSpec:
     seed: int = 0
     max_vertices: int = MAX_VERTICES
     max_edges: int = MAX_EDGES
-    predictor_settings: TrainingSettings = field(
-        default_factory=lambda: TrainingSettings(epochs=8)
-    )
+    predictor_settings: TrainingSettings = field(default_factory=lambda: TrainingSettings(epochs=8))
     enable_parameter_caching: bool = True
 
     def __post_init__(self) -> None:

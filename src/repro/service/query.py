@@ -105,9 +105,7 @@ class SweepService:
                 if name not in measurements.config_names
             ]
             if missing:
-                raise ServiceError(
-                    f"the preloaded measurement set lacks configurations {missing}"
-                )
+                raise ServiceError(f"the preloaded measurement set lacks configurations {missing}")
         self._measurements = measurements
         self._settings = settings or TrainingSettings()
         self._models: dict[tuple[str, str], LearnedPerformanceModel] = {}
@@ -215,9 +213,7 @@ class SweepService:
     # ------------------------------------------------------------------ #
     def _packed_table(self) -> GraphTable:
         if self._table is None:
-            self._table = GraphTable.from_cells(
-                [record.cell for record in self._dataset]
-            )
+            self._table = GraphTable.from_cells([record.cell for record in self._dataset])
         return self._table
 
     def _model_for(self, config_name: str, metric: str) -> LearnedPerformanceModel:

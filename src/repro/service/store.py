@@ -210,9 +210,7 @@ class MeasurementStore:
         """Configuration names with at least one shard on disk."""
         if not self.root.is_dir():
             return []
-        pattern = re.compile(
-            re.escape(self.prefix) + r"-(.+)-[0-9a-f]{%d}\.npz$" % _DIGEST_CHARS
-        )
+        pattern = re.compile(re.escape(self.prefix) + r"-(.+)-[0-9a-f]{%d}\.npz$" % _DIGEST_CHARS)
         names = set()
         for path in self.root.iterdir():
             match = pattern.match(path.name)
@@ -274,14 +272,16 @@ class MeasurementStore:
                     self.stats.pairs_loaded += 1
                     self.stats.models_loaded += stop - start
             if missing:
-                # One LayerTable per shard, shared across its missing configs.
+                # One LayerTable per shard, shared across its missing configs,
+                # and one config-axis vectorized pass over all of them.
                 networks = [
                     dataset[index].build_network(dataset.network_config)
                     for index in range(start, stop)
                 ]
                 table = LayerTable.from_networks(networks)
-                for config in missing:
-                    latency, energy = self._simulator.evaluate_table(table, config)
+                grid_latency, grid_energy = self._simulator.evaluate_table_grid(table, missing)
+                for index, config in enumerate(missing):
+                    latency, energy = grid_latency[index], grid_energy[index]
                     self._save_pair(shard_prints, config.name, latency, energy)
                     latencies[config.name][start:stop] = latency
                     energies[config.name][start:stop] = energy
@@ -320,9 +320,7 @@ class MeasurementStore:
         ranges = self.shard_ranges(len(dataset))
         written = 0
         for start, stop in ranges:
-            shard_prints = [
-                record.fingerprint for record in dataset.records[start:stop]
-            ]
+            shard_prints = [record.fingerprint for record in dataset.records[start:stop]]
             for name in measurements.config_names:
                 self._save_pair(
                     shard_prints,
@@ -353,9 +351,7 @@ class MeasurementStore:
         ranges = self.shard_ranges(total)
         missing: list[tuple[int, str]] = []
         for shard_index, (start, stop) in enumerate(ranges):
-            shard_prints = [
-                record.fingerprint for record in dataset.records[start:stop]
-            ]
+            shard_prints = [record.fingerprint for record in dataset.records[start:stop]]
             for name in config_names:
                 pair = self._load_pair(shard_prints, name)
                 if pair is None:
@@ -387,9 +383,7 @@ class MeasurementStore:
         config_names = self._config_names(configs)
         missing = []
         for shard_index, (start, stop) in enumerate(self.shard_ranges(len(dataset))):
-            shard_prints = [
-                record.fingerprint for record in dataset.records[start:stop]
-            ]
+            shard_prints = [record.fingerprint for record in dataset.records[start:stop]]
             for name in config_names:
                 if self._load_pair(shard_prints, name) is None:
                     missing.append((shard_index, name))

@@ -7,6 +7,11 @@ object at a time; this module instead flattens the whole population into a
 :class:`~repro.nasbench.layer_table.LayerTable` **once** (shared across all
 accelerator configurations) and runs the compiler and timing/energy formulas
 as NumPy array kernels over every layer of every model simultaneously.
+The accelerator configurations are an array axis too
+(:meth:`BatchSimulator.evaluate_table_grid`): the config scalars broadcast as
+:class:`~repro.arch.config_table.ConfigTable` columns, so a whole
+configuration grid is evaluated in one ``(num_configs, num_layers)`` pass
+instead of once per configuration.
 
 The results are bit-for-bit the scalar engine's (both paths run the same
 kernels; only the reduction order of float sums differs, within 1e-9
@@ -28,7 +33,8 @@ from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 import numpy as np
 
 from ..arch.config import STUDIED_CONFIGS, AcceleratorConfig
-from ..arch.energy import energy_parameters_for
+from ..arch.config_table import ConfigTable
+from ..arch.energy import energy_parameters_for, energy_parameters_table
 from ..compiler import compile_layer_table
 from ..errors import SimulationError
 from ..nasbench.cell import Cell
@@ -117,11 +123,11 @@ class BatchSimulator:
         else:
             networks = [record.build_network(dataset.network_config) for record in dataset]
             table = LayerTable.from_networks(networks)
+            grid_latency, grid_energy = self.evaluate_table_grid(table, config_list)
             latencies, energies = {}, {}
-            for config in config_list:
-                latencies[config.name], energies[config.name] = self.evaluate_table(
-                    table, config
-                )
+            for index, config in enumerate(config_list):
+                latencies[config.name] = grid_latency[index]
+                energies[config.name] = grid_energy[index]
                 if progress_callback is not None:
                     progress_callback(config.name, total, total)
         return MeasurementSet(dataset, latencies, energies)
@@ -172,6 +178,40 @@ class BatchSimulator:
             energy_mj = np.full(latency_ms.shape, np.nan)
         return latency_ms, energy_mj
 
+    def evaluate_table_grid(
+        self,
+        table: LayerTable,
+        configs: Sequence[AcceleratorConfig] | ConfigTable,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Config-axis vectorized sweep: all configurations in one pass.
+
+        Returns ``(latency_ms, energy_mj)`` arrays of shape
+        ``(num_configs, num_models)``, row ``i`` belonging to ``configs[i]``.
+        Instead of re-running the mapping/cache/timing/energy kernels once
+        per configuration (:meth:`evaluate_table`, kept as the equivalence
+        oracle), the configuration scalars become broadcastable
+        ``(num_configs, 1)`` columns of a
+        :class:`~repro.arch.config_table.ConfigTable` and every kernel runs
+        once over ``(num_configs, num_layers)`` arrays — bit-for-bit the
+        per-config loop's results.  Energy rows of configurations without a
+        published energy model are NaN, as in the scalar sweep.
+        """
+        config_table = ConfigTable.from_configs(configs)
+        compiled = compile_layer_table(
+            table, config_table, enable_parameter_caching=self.enable_parameter_caching
+        )
+        timing = time_layer_table(compiled)
+        total_cycles = model_latency_cycles_table(timing, table.model_offsets, config_table)
+        latency_ms = cycles_to_milliseconds(total_cycles, config_table)
+
+        params = energy_parameters_table(config_table)
+        dynamic = np.add.reduceat(
+            layer_energy_table(compiled, timing, params), table.segment_starts, axis=-1
+        )
+        energy_mj = dynamic + static_energy_mj(latency_ms, params)
+        energy_mj[~params.available] = np.nan
+        return latency_ms, energy_mj
+
     # ------------------------------------------------------------------ #
     # Process-based sharding
     # ------------------------------------------------------------------ #
@@ -191,11 +231,7 @@ class BatchSimulator:
         the whole pool drains.
         """
         total = len(dataset)
-        shards = [
-            chunk
-            for chunk in np.array_split(np.arange(total), n_jobs)
-            if chunk.size
-        ]
+        shards = [chunk for chunk in np.array_split(np.arange(total), n_jobs) if chunk.size]
         cells = [record.cell for record in dataset]
         latencies = {config.name: np.empty(total, dtype=float) for config in config_list}
         energies = {config.name: np.full(total, np.nan, dtype=float) for config in config_list}
@@ -234,4 +270,5 @@ def _sweep_shard(
     networks = [build_network(cell, network_config) for cell in cells]
     table = LayerTable.from_networks(networks)
     simulator = BatchSimulator(enable_parameter_caching=enable_parameter_caching)
-    return {config.name: simulator.evaluate_table(table, config) for config in configs}
+    latency, energy = simulator.evaluate_table_grid(table, configs)
+    return {config.name: (latency[index], energy[index]) for index, config in enumerate(configs)}

@@ -62,9 +62,7 @@ def layer_energy_table(
         0.0,
     )
 
-    sram_bytes = (
-        table.weight_bytes + table.input_activation_bytes + table.output_activation_bytes
-    )
+    sram_bytes = table.weight_bytes + table.input_activation_bytes + table.output_activation_bytes
     sram_energy = params.sram_byte_energy_pj * sram_bytes
     dram_energy = params.dram_byte_energy_pj * timing.dram_bytes
 

@@ -70,9 +70,7 @@ def time_layer(
     refill_bytes = layer.cached_weight_bytes
 
     dram_cycles = dram_bytes / sustained_bytes_per_cycle(config) if dram_bytes else 0.0
-    refill_cycles = (
-        refill_bytes / on_chip_bytes_per_cycle(config) if refill_bytes else 0.0
-    )
+    refill_cycles = refill_bytes / on_chip_bytes_per_cycle(config) if refill_bytes else 0.0
     memory_cycles = max(dram_cycles, refill_cycles)
 
     total = max(layer.mapping.compute_cycles, memory_cycles) + config.layer_overhead_cycles
@@ -90,7 +88,10 @@ def time_layer_table(compiled: CompiledTable) -> TimingTable:
 
     The model input image and classifier output DRAM traffic are charged to
     the first and last layer of every model segment, exactly as the scalar
-    engine does via ``extra_dram_bytes``.
+    engine does via ``extra_dram_bytes``.  For a table compiled against a
+    :class:`~repro.arch.config_table.ConfigTable` the timing arrays carry the
+    compiled arrays' leading configuration axis (the config columns broadcast
+    through the same formulas).
     """
     table = compiled.table
     config = compiled.config
@@ -129,16 +130,22 @@ def model_latency_cycles(timings: list[LayerTiming], config: AcceleratorConfig) 
 
 
 def model_latency_cycles_table(
-    timing: TimingTable, model_offsets: np.ndarray, config: AcceleratorConfig
+    timing: TimingTable, model_offsets: np.ndarray, config
 ) -> np.ndarray:
-    """Per-model latency in cycles via a segment reduction over the layer axis."""
+    """Per-model latency in cycles via a segment reduction over the layer axis.
+
+    Elementwise in the configuration: *config* is one
+    :class:`AcceleratorConfig` (result shape ``(num_models,)``) or a
+    :class:`~repro.arch.config_table.ConfigTable` matching the timing arrays'
+    leading axis (result shape ``(num_configs, num_models)``).
+    """
     return config.inference_overhead_cycles + np.add.reduceat(
-        timing.total_cycles, model_offsets[:-1]
+        timing.total_cycles, model_offsets[:-1], axis=-1
     )
 
 
-def cycles_to_milliseconds(cycles: float, config: AcceleratorConfig) -> float:
-    """Convert accelerator cycles to milliseconds for *config*."""
+def cycles_to_milliseconds(cycles, config):
+    """Convert accelerator cycles to milliseconds for *config* (elementwise)."""
     return cycles / config.clock_hz * 1e3
 
 

@@ -49,8 +49,12 @@ class MeasurementSet:
         energies_mj: dict[str, np.ndarray],
     ):
         self._dataset = dataset
-        self._latencies = {name: np.asarray(values, dtype=float) for name, values in latencies_ms.items()}
-        self._energies = {name: np.asarray(values, dtype=float) for name, values in energies_mj.items()}
+        self._latencies = {
+            name: np.asarray(values, dtype=float) for name, values in latencies_ms.items()
+        }
+        self._energies = {
+            name: np.asarray(values, dtype=float) for name, values in energies_mj.items()
+        }
         if set(self._latencies) != set(self._energies):
             raise SimulationError(
                 "latency and energy arrays cover different configurations: "
@@ -234,9 +238,7 @@ def evaluate_dataset(
     networks = [record.build_network(dataset.network_config) for record in dataset]
 
     for config in config_list:
-        simulator = PerformanceSimulator(
-            config, enable_parameter_caching=enable_parameter_caching
-        )
+        simulator = PerformanceSimulator(config, enable_parameter_caching=enable_parameter_caching)
         latency_array = np.empty(total, dtype=float)
         energy_array = np.full(total, np.nan, dtype=float)
         for index, network in enumerate(networks):

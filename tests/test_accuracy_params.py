@@ -47,9 +47,7 @@ class TestSurrogateAccuracy:
 
     def test_most_models_pass_the_70_percent_filter(self, accuracy_model):
         cells = sample_unique_cells(300, seed=5)
-        accuracies = np.array(
-            [accuracy_model.mean_validation_accuracy(cell) for cell in cells]
-        )
+        accuracies = np.array([accuracy_model.mean_validation_accuracy(cell) for cell in cells])
         fraction = (accuracies >= 0.70).mean()
         # Paper: ~98.5% of models clear the filter; the surrogate should be close.
         assert fraction > 0.93

@@ -34,7 +34,7 @@ from repro.analysis import (
 )
 from repro.arch import EDGE_TPU_V2
 from repro.errors import DatasetError
-from repro.nasbench import CONV1X1, CONV3X3, MAXPOOL3X3, sample_unique_cells
+from repro.nasbench import CONV1X1, CONV3X3, MAXPOOL3X3
 from repro.nasbench.famous_cells import BEST_ACCURACY_CELL
 
 
@@ -79,9 +79,7 @@ class TestSummary:
 class TestBuckets:
     def test_buckets_partition_the_population(self, measurements):
         buckets = winner_buckets(measurements)
-        assert sum(bucket.num_models for bucket in buckets.values()) == len(
-            measurements.dataset
-        )
+        assert sum(bucket.num_models for bucket in buckets.values()) == len(measurements.dataset)
         v1_bucket = buckets["V1"]
         assert v1_bucket.num_models > 0
         assert v1_bucket.avg_latency_ms["V1"] <= v1_bucket.avg_latency_ms["V2"]
@@ -160,9 +158,7 @@ class TestOperations:
         bands = crossover_analysis(measurements)
         assert sum(band.num_models for band in bands) == len(measurements.dataset)
         for band in bands:
-            assert band.fastest_config == min(
-                band.avg_latency_ms, key=band.avg_latency_ms.get
-            )
+            assert band.fastest_config == min(band.avg_latency_ms, key=band.avg_latency_ms.get)
 
 
 class TestPareto:
@@ -278,9 +274,7 @@ class TestMeasurementSubsetRoundTrip:
         assert empty.size == 0 and empty.records() == []
         full = measurements.subset(np.ones(total, dtype=bool))
         assert full.size == total
-        np.testing.assert_array_equal(
-            full.latencies("V1"), measurements.latencies("V1")
-        )
+        np.testing.assert_array_equal(full.latencies("V1"), measurements.latencies("V1"))
 
 
 class TestSwaps:

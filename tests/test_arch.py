@@ -11,7 +11,6 @@ from repro.arch import (
     KIB,
     MIB,
     STUDIED_CONFIGS,
-    AcceleratorConfig,
     bandwidth_efficiency,
     energy_parameters_for,
     get_config,
@@ -79,6 +78,19 @@ class TestConfigValidationAndOverrides:
         assert modified.num_pes == 8
         assert EDGE_TPU_V1.num_pes == 16
         assert modified.peak_tops < EDGE_TPU_V1.peak_tops
+
+    def test_unknown_field_raises_invalid_config_error(self):
+        # Regression: used to surface as a bare TypeError from
+        # dataclasses.replace instead of the library's exception type.
+        with pytest.raises(InvalidConfigError, match="'num_lanes'"):
+            EDGE_TPU_V1.with_overrides(num_lanes=32)
+        with pytest.raises(InvalidConfigError) as excinfo:
+            EDGE_TPU_V1.with_overrides(pes_z=2, clock_ghz=1.0)
+        assert "'clock_ghz'" in str(excinfo.value)
+        assert "'pes_z'" in str(excinfo.value)
+        # Valid overrides alongside an unknown one still fail atomically.
+        with pytest.raises(InvalidConfigError):
+            EDGE_TPU_V1.with_overrides(pes_x=2, pes_q=2)
 
     def test_summary_contains_table2_fields(self):
         summary = EDGE_TPU_V2.summary()

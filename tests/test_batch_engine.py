@@ -36,9 +36,7 @@ def population():
 
 
 def scalar_sweep(dataset, enable_caching):
-    return evaluate_dataset(
-        dataset, enable_parameter_caching=enable_caching, strategy="scalar"
-    )
+    return evaluate_dataset(dataset, enable_parameter_caching=enable_caching, strategy="scalar")
 
 
 class TestLayerTable:
@@ -108,19 +106,12 @@ class TestCompiledTableEquivalence:
             for record in population.records[:25]
         ]
         table = LayerTable.from_networks(networks)
-        compiled = compile_layer_table(
-            table, config, enable_parameter_caching=enable_caching
-        )
+        compiled = compile_layer_table(table, config, enable_parameter_caching=enable_caching)
         for index, network in enumerate(networks):
-            plan = plan_parameter_cache(
-                network.layers, config, enable_caching=enable_caching
-            )
+            plan = plan_parameter_cache(network.layers, config, enable_caching=enable_caching)
             rows = table.model_slice(index)
             assert compiled.cache.capacity_bytes[index] == plan.capacity_bytes
-            assert (
-                compiled.cache.effective_capacity_bytes[index]
-                == plan.effective_capacity_bytes
-            )
+            assert compiled.cache.effective_capacity_bytes[index] == plan.effective_capacity_bytes
             assert compiled.cache.total_weight_bytes[index] == plan.total_weight_bytes
             assert compiled.cache.cached_bytes[index] == plan.cached_bytes
             streamed = compiled.cache.streamed_bytes[rows]
@@ -143,13 +134,9 @@ class TestBatchSimulatorEquivalence:
     @pytest.mark.parametrize("enable_caching", [True, False])
     def test_population_sweep_matches_scalar(self, population, enable_caching):
         scalar = scalar_sweep(population, enable_caching)
-        batch = BatchSimulator(enable_parameter_caching=enable_caching).evaluate(
-            population
-        )
+        batch = BatchSimulator(enable_parameter_caching=enable_caching).evaluate(population)
         for name in CONFIG_NAMES:
-            np.testing.assert_allclose(
-                batch.latencies(name), scalar.latencies(name), rtol=RTOL
-            )
+            np.testing.assert_allclose(batch.latencies(name), scalar.latencies(name), rtol=RTOL)
             np.testing.assert_allclose(
                 batch.energies(name), scalar.energies(name), rtol=RTOL, equal_nan=True
             )
@@ -199,9 +186,7 @@ class TestFacade:
         fast = evaluate_dataset(population)
         slow = scalar_sweep(population, True)
         for name in CONFIG_NAMES:
-            np.testing.assert_allclose(
-                fast.latencies(name), slow.latencies(name), rtol=RTOL
-            )
+            np.testing.assert_allclose(fast.latencies(name), slow.latencies(name), rtol=RTOL)
 
     def test_unknown_strategy_rejected(self, population):
         with pytest.raises(SimulationError):

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import dataclasses
-import math
 
 import numpy as np
 import pytest
@@ -50,9 +49,7 @@ def conv_layer(out_channels=128, in_channels=128, size=32, kernel=3) -> LayerSpe
 class TestLowering:
     def test_lowering_preserves_layer_order(self, best_network):
         lowered = lower_network(best_network)
-        assert [layer.name for layer in lowered] == [
-            layer.name for layer in best_network.layers
-        ]
+        assert [layer.name for layer in lowered] == [layer.name for layer in best_network.layers]
 
     def test_unsupported_kind_rejected(self, best_network):
         bad_layer = dataclasses.replace(best_network.layers[0], kind="depthwise_conv")
@@ -161,9 +158,7 @@ class TestParameterCache:
             assert plan.cached_bytes + plan.streamed_bytes == plan.total_weight_bytes
 
     def test_disabled_caching_streams_everything(self, small_network):
-        plan = plan_parameter_cache(
-            lower_network(small_network), EDGE_TPU_V1, enable_caching=False
-        )
+        plan = plan_parameter_cache(lower_network(small_network), EDGE_TPU_V1, enable_caching=False)
         assert plan.cached_bytes == 0
         assert plan.streamed_bytes == plan.total_weight_bytes
 

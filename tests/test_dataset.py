@@ -9,7 +9,6 @@ from repro.nasbench import (
     BEST_ACCURACY_CELL,
     NASBenchDataset,
     NetworkConfig,
-    cell_fingerprint,
     sample_unique_cells,
 )
 
@@ -89,10 +88,6 @@ class TestQueries:
 
     def test_custom_network_config_changes_parameters(self):
         cells = sample_unique_cells(5, seed=2)
-        small = NASBenchDataset.from_cells(
-            cells, network_config=NetworkConfig(stem_channels=64)
-        )
-        large = NASBenchDataset.from_cells(
-            cells, network_config=NetworkConfig(stem_channels=128)
-        )
+        small = NASBenchDataset.from_cells(cells, network_config=NetworkConfig(stem_channels=64))
+        large = NASBenchDataset.from_cells(cells, network_config=NetworkConfig(stem_channels=128))
         assert small.parameter_counts().sum() < large.parameter_counts().sum()

@@ -11,7 +11,7 @@ from repro.core import (
     cell_to_graph,
 )
 from repro.core.graph_net import GraphNetBlock, IndependentBlock
-from repro.core.layers import MLP, LayerNorm, Linear, Module, truncated_normal
+from repro.core.layers import MLP, LayerNorm, Linear, truncated_normal
 from repro.errors import ModelError
 from repro.nasbench import (
     BEST_ACCURACY_CELL,

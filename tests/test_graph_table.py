@@ -19,7 +19,6 @@ from repro.core import (
     TrainingSettings,
     as_graph_table,
     batch_graphs,
-    cell_to_graph,
     featurize_cells,
     train_model,
 )
@@ -57,9 +56,7 @@ class TestPacking:
         assert table.num_nodes == sum(graph.num_nodes for graph in graphs)
         assert table.num_edges == sum(graph.num_edges for graph in graphs)
         assert len(table) == len(graphs)
-        assert np.array_equal(
-            table.node_counts, [graph.num_nodes for graph in graphs]
-        )
+        assert np.array_equal(table.node_counts, [graph.num_nodes for graph in graphs])
 
     def test_from_cells_matches_featurize_then_pack(self, cells, table):
         direct = GraphTable.from_cells(cells)
@@ -138,13 +135,9 @@ class TestTrainingEquivalence:
         )
 
         assert packed_history.train_losses == legacy_history.train_losses
-        for packed_param, legacy_param in zip(
-            packed_model.parameters(), legacy_model.parameters()
-        ):
+        for packed_param, legacy_param in zip(packed_model.parameters(), legacy_model.parameters()):
             assert np.array_equal(packed_param.data, legacy_param.data)
-        assert np.array_equal(
-            predict(packed_model, table), predict(legacy_model, graphs)
-        )
+        assert np.array_equal(predict(packed_model, table), predict(legacy_model, graphs))
 
     def test_validation_losses_match(self, table, graphs):
         targets = np.linspace(0.5, -0.5, len(graphs))
@@ -177,13 +170,9 @@ class TestTrainingEquivalence:
     def test_list_strategy_rejects_table_input(self, table):
         targets = np.zeros(table.num_graphs)
         with pytest.raises(ModelError):
-            train_model(
-                EncodeProcessDecode(seed=0), table, targets, epochs=1, strategy="list"
-            )
+            train_model(EncodeProcessDecode(seed=0), table, targets, epochs=1, strategy="list")
         with pytest.raises(ModelError):
-            train_model(
-                EncodeProcessDecode(seed=0), table, targets, epochs=1, strategy="nope"
-            )
+            train_model(EncodeProcessDecode(seed=0), table, targets, epochs=1, strategy="nope")
 
 
 class TestInference:
@@ -204,9 +193,7 @@ class TestInference:
 
 class TestPredictorEquivalence:
     def test_fit_table_matches_fit_cells(self, cells):
-        targets = np.array(
-            [0.3 + 0.4 * cell.op_count("conv3x3-bn-relu") for cell in cells]
-        )
+        targets = np.array([0.3 + 0.4 * cell.op_count("conv3x3-bn-relu") for cell in cells])
         settings = TrainingSettings(epochs=3, seed=0)
         by_cells = LearnedPerformanceModel("V1", settings)
         by_cells.fit(cells, targets)
@@ -215,9 +202,7 @@ class TestPredictorEquivalence:
 
         assert by_cells.history.train_losses == by_table.history.train_losses
         assert by_cells.evaluate("test") == by_table.evaluate("test")
-        assert np.array_equal(
-            by_cells.predict_cells(cells[:8]), by_table.predict_cells(cells[:8])
-        )
+        assert np.array_equal(by_cells.predict_cells(cells[:8]), by_table.predict_cells(cells[:8]))
 
     def test_state_round_trip_preserves_reports(self, cells):
         targets = np.array([1.0 + cell.num_edges for cell in cells], dtype=float)
@@ -229,9 +214,7 @@ class TestPredictorEquivalence:
         restored = LearnedPerformanceModel("V2", settings)
         restored.restore_state(GraphTable.from_cells(cells), state)
         assert restored.evaluate("test") == model.evaluate("test")
-        assert np.array_equal(
-            restored.predict_cells(cells[:5]), model.predict_cells(cells[:5])
-        )
+        assert np.array_equal(restored.predict_cells(cells[:5]), model.predict_cells(cells[:5]))
         assert restored.history.train_losses == model.history.train_losses
 
     def test_predict_empty_cell_list_returns_empty(self, cells):

@@ -61,9 +61,7 @@ class TestPaperFindings:
 
     def test_figure14_crossover(self, measurements):
         """Paper Figure 14: V1 wins the mid-size band, V2 wins the largest band."""
-        bands = crossover_analysis(
-            measurements, band_edges=(0.0, 2e6, 5e6, 30e6, 1e9)
-        )
+        bands = crossover_analysis(measurements, band_edges=(0.0, 2e6, 5e6, 30e6, 1e9))
         by_band = {band.lower_parameters: band for band in bands}
         mid_band = by_band.get(5e6)
         large_band = by_band.get(30e6)

@@ -149,9 +149,7 @@ class TestBuildNetwork:
     def test_number_of_cell_instances(self):
         config = NetworkConfig(num_stacks=3, cells_per_stack=3)
         network = build_network(chain_cell(CONV3X3), config)
-        conv_layers = [
-            layer for layer in network.layers if "vertex1/conv3x3" in layer.name
-        ]
+        conv_layers = [layer for layer in network.layers if "vertex1/conv3x3" in layer.name]
         assert len(conv_layers) == 9  # one per cell instance
 
     def test_downsampling_halves_spatial_and_doubles_channels(self):
@@ -200,9 +198,7 @@ class TestParameterCounting:
 
     def test_shallow_cell_has_fewer_parameters_than_deep_chain(self):
         # Same operation multiset, but the concatenation divides the channels.
-        assert count_parameters(SHALLOW_CONV_HEAVY_CELL) < count_parameters(
-            DEEP_CONV_HEAVY_CELL
-        )
+        assert count_parameters(SHALLOW_CONV_HEAVY_CELL) < count_parameters(DEEP_CONV_HEAVY_CELL)
 
     def test_count_matches_network_spec(self):
         cell = chain_cell(CONV3X3, CONV1X1)

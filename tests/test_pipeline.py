@@ -66,9 +66,7 @@ class TestExperimentSpec:
 
 class TestRunExperiment:
     def test_end_to_end_grid(self, pipeline_cache_dir):
-        experiment = small_experiment(
-            config_names=("V1", "V3"), metrics=("latency", "energy")
-        )
+        experiment = small_experiment(config_names=("V1", "V3"), metrics=("latency", "energy"))
         result = run_experiment(experiment, cache_dir=pipeline_cache_dir)
         # V3 has no energy model: three trained cells, one recorded skip.
         assert set(result.models) == {
@@ -112,9 +110,7 @@ class TestRunExperiment:
 
         # Identical results, measurably faster than simulate+train.
         assert warm.report("V1") == cold.report("V1")
-        assert np.array_equal(
-            warm.measurements.latencies("V1"), cold.measurements.latencies("V1")
-        )
+        assert np.array_equal(warm.measurements.latencies("V1"), cold.measurements.latencies("V1"))
         assert warm_elapsed < cold_elapsed
 
     def test_spec_change_misses_cache(self, pipeline_cache_dir):

@@ -89,9 +89,7 @@ class TestMutation:
             assert cell.num_edges <= 6
 
     def test_swap_op_relabels_one_interior_vertex(self):
-        cell = Cell(
-            [[0, 1, 0], [0, 0, 1], [0, 0, 0]], [INPUT, CONV3X3, OUTPUT]
-        )
+        cell = Cell([[0, 1, 0], [0, 0, 1], [0, 0, 0]], [INPUT, CONV3X3, OUTPUT])
         swapped = swap_op(cell, np.random.default_rng(0))
         assert swapped.matrix == cell.matrix
         assert swapped.interior_ops != cell.interior_ops
@@ -117,9 +115,7 @@ class TestMutation:
             seen.add(mutant)
 
     def test_mutate_unique_raises_when_neighborhood_is_exhausted(self):
-        chain = Cell(
-            [[0, 1, 0], [0, 0, 1], [0, 0, 0]], [INPUT, CONV1X1, OUTPUT]
-        )
+        chain = Cell([[0, 1, 0], [0, 0, 1], [0, 0, 0]], [INPUT, CONV1X1, OUTPUT])
         rng = np.random.default_rng(4)
         # Only op swaps are allowed, so the neighborhood has two models.
         seen = {chain, swap_op(chain, rng), swap_op(chain, rng)}
@@ -198,9 +194,7 @@ class TestParetoArchive:
         assert loaded.ref_cost == archive.ref_cost
         assert loaded.ref_accuracy == archive.ref_accuracy
         assert loaded.hypervolume_history == archive.hypervolume_history
-        assert [e.fingerprint for e in loaded.entries] == [
-            e.fingerprint for e in archive.entries
-        ]
+        assert [e.fingerprint for e in loaded.entries] == [e.fingerprint for e in archive.entries]
         assert [e.cell for e in loaded.entries] == [e.cell for e in archive.entries]
         assert loaded.hypervolume() == pytest.approx(archive.hypervolume())
 
@@ -251,9 +245,7 @@ class TestSearchEngine:
         b = SearchEngine(small_spec("evolution", generations=3)).run()
         assert a.best_objective == b.best_objective
         assert [r.fingerprint for r in a.dataset] == [r.fingerprint for r in b.dataset]
-        assert [g.hypervolume for g in a.generations] == [
-            g.hypervolume for g in b.generations
-        ]
+        assert [g.hypervolume for g in a.generations] == [g.hypervolume for g in b.generations]
 
     def test_budget_is_respected_and_history_unique(self):
         result = SearchEngine(small_spec("random")).run()
@@ -266,9 +258,7 @@ class TestSearchEngine:
         result = SearchEngine(small_spec("evolution")).run()
         assert np.isfinite(result.best_objective)
         assert result.best_accuracy >= result.spec.min_accuracy
-        assert result.best_objective == result.measurements.latencies("V1")[
-            result.best_index
-        ]
+        assert result.best_objective == result.measurements.latencies("V1")[result.best_index]
 
     def test_hypervolume_trajectory_is_monotone(self):
         result = SearchEngine(small_spec("evolution")).run()
@@ -302,9 +292,7 @@ class TestSearchEngine:
 
         fresh = SearchEngine(spec).run()
         assert resumed.best_objective == fresh.best_objective
-        assert [r.fingerprint for r in resumed.dataset] == [
-            r.fingerprint for r in fresh.dataset
-        ]
+        assert [r.fingerprint for r in resumed.dataset] == [r.fingerprint for r in fresh.dataset]
 
         # A second full run over the warm store is a pure replay.
         replay_store = MeasurementStore(tmp_path, shard_size=spec.population_size)
@@ -329,9 +317,7 @@ class TestSearchEngine:
             SearchEngine(small_spec("evolution"), store=store)
 
     def test_parameter_caching_mismatch_is_rejected(self, tmp_path):
-        store = MeasurementStore(
-            tmp_path, shard_size=12, enable_parameter_caching=False
-        )
+        store = MeasurementStore(tmp_path, shard_size=12, enable_parameter_caching=False)
         with pytest.raises(SearchError, match="parameter"):
             SearchEngine(small_spec("evolution"), store=store)
 
@@ -347,9 +333,7 @@ class TestSearchEngine:
 # --------------------------------------------------------------------------- #
 class TestSearchExperiment:
     def test_run_then_replay(self, tmp_path):
-        experiment = SearchExperiment(
-            name="unit", spec=small_spec("evolution", generations=3)
-        )
+        experiment = SearchExperiment(name="unit", spec=small_spec("evolution", generations=3))
         first = run_search_experiment(experiment, cache_dir=tmp_path)
         second = run_search_experiment(experiment, cache_dir=tmp_path)
         assert not first.replayed
@@ -372,9 +356,7 @@ class TestSearchExperiment:
         )
 
     def test_runs_without_a_cache_directory(self):
-        experiment = SearchExperiment(
-            name="ephemeral", spec=small_spec("random", generations=2)
-        )
+        experiment = SearchExperiment(name="ephemeral", spec=small_spec("random", generations=2))
         outcome = run_search_experiment(experiment)
         assert not outcome.replayed
         assert outcome.archive_path is None

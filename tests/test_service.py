@@ -38,15 +38,11 @@ def assert_matches_reference(measurements, reference, configs=CONFIGS):
         np.testing.assert_allclose(
             measurements.latencies(name), reference.latencies(name), rtol=1e-9
         )
-        np.testing.assert_allclose(
-            measurements.energies(name), reference.energies(name), rtol=1e-9
-        )
+        np.testing.assert_allclose(measurements.energies(name), reference.energies(name), rtol=1e-9)
 
 
 class TestMeasurementStore:
-    def test_cold_sweep_simulates_every_pair(
-        self, tmp_path, store_dataset, direct_measurements
-    ):
+    def test_cold_sweep_simulates_every_pair(self, tmp_path, store_dataset, direct_measurements):
         store = make_store(tmp_path)
         measurements = store.sweep(store_dataset, configs=CONFIGS)
         n_shards = len(store.shard_ranges(len(store_dataset)))
@@ -112,9 +108,7 @@ class TestMeasurementStore:
     ):
         # Shards are keyed by cell-fingerprint content, so sweeping a prefix
         # population produces exactly the files the grown population reuses.
-        prefix = NASBenchDataset(
-            store_dataset.records[: 2 * SHARD], store_dataset.network_config
-        )
+        prefix = NASBenchDataset(store_dataset.records[: 2 * SHARD], store_dataset.network_config)
         make_store(tmp_path).sweep(prefix, configs=("V1",))
         store = make_store(tmp_path)
         measurements = store.extend(store_dataset, configs=("V1",))
@@ -177,9 +171,7 @@ class TestMeasurementStore:
     def test_store_simulator_mode_mismatch_rejected(self, tmp_path, store_dataset):
         store = make_store(tmp_path, enable_parameter_caching=False)
         with pytest.raises(SimulationError, match="parameter"):
-            BatchSimulator(enable_parameter_caching=True).evaluate(
-                store_dataset, store=store
-            )
+            BatchSimulator(enable_parameter_caching=True).evaluate(store_dataset, store=store)
         with pytest.raises(ServiceError, match="parameter"):
             MeasurementStore(
                 tmp_path,
@@ -193,13 +185,9 @@ class TestMeasurementStore:
         with pytest.raises(ServiceError):
             make_store(tmp_path).sweep(store_dataset, configs=())
         with pytest.raises(SimulationError, match="scalar"):
-            evaluate_dataset(
-                store_dataset, strategy="scalar", store=make_store(tmp_path)
-            )
+            evaluate_dataset(store_dataset, strategy="scalar", store=make_store(tmp_path))
 
-    def test_evaluate_dataset_store_passthrough(
-        self, tmp_path, store_dataset, direct_measurements
-    ):
+    def test_evaluate_dataset_store_passthrough(self, tmp_path, store_dataset, direct_measurements):
         store = make_store(tmp_path)
         measurements = evaluate_dataset(store_dataset, store=store)
         assert store.stats.pairs_simulated == 4 * len(CONFIGS)
@@ -225,9 +213,7 @@ class TestSweepService:
     def test_queries_answered_from_disk_without_simulation(
         self, warm_root, store_dataset, direct_measurements, no_simulation
     ):
-        service = SweepService(
-            make_store(warm_root), store_dataset, configs=CONFIGS
-        )
+        service = SweepService(make_store(warm_root), store_dataset, configs=CONFIGS)
         assert service.config_names == list(CONFIGS)
 
         top = service.top_k(3)
@@ -254,18 +240,14 @@ class TestSweepService:
         )
         assert service.energy_of(record.fingerprint, "V3") is None
 
-    def test_unknown_fingerprint_and_config_raise(
-        self, warm_root, store_dataset, no_simulation
-    ):
+    def test_unknown_fingerprint_and_config_raise(self, warm_root, store_dataset, no_simulation):
         service = SweepService(make_store(warm_root), store_dataset, configs=CONFIGS)
         with pytest.raises(DatasetError):
             service.latency_of("not-a-fingerprint", "V1")
         with pytest.raises(ServiceError, match="not served"):
             service.latency_of(store_dataset[0].fingerprint, "V9")
 
-    def test_cold_store_is_an_error_not_a_sweep(
-        self, tmp_path, store_dataset, no_simulation
-    ):
+    def test_cold_store_is_an_error_not_a_sweep(self, tmp_path, store_dataset, no_simulation):
         with pytest.raises(ServiceError, match="missing"):
             SweepService(make_store(tmp_path), store_dataset, configs=CONFIGS)
 
@@ -330,9 +312,7 @@ class TestSweepService:
         np.testing.assert_allclose(restored.predict(unseen, "V1"), first)
         assert restored.predict_cell(unseen[0], "V1") == pytest.approx(first[0])
 
-    def test_model_cache_does_not_pollute_shard_namespace(
-        self, warm_root, store_dataset
-    ):
+    def test_model_cache_does_not_pollute_shard_namespace(self, warm_root, store_dataset):
         # Regression: cached weights used to land next to the shard files and
         # match the shard filename pattern, surfacing a phantom "model"
         # configuration that poisoned available_configs()-driven loads.

@@ -182,9 +182,7 @@ class TestBatchEvaluation:
         without_cache = evaluate_dataset(
             small, configs=[EDGE_TPU_V1], enable_parameter_caching=False
         )
-        assert (
-            without_cache.latencies("V1").mean() >= with_cache.latencies("V1").mean()
-        )
+        assert without_cache.latencies("V1").mean() >= with_cache.latencies("V1").mean()
 
 
 class TestMeasurementSetValidation:
@@ -266,8 +264,7 @@ class TestProgressReporting:
 
     def test_scalar_and_vectorized_agree_on_completion(self, tiny):
         scalar, vectorized = RecordingCallback(), RecordingCallback()
-        evaluate_dataset(tiny, configs=[EDGE_TPU_V1], strategy="scalar",
-                         progress_callback=scalar)
+        evaluate_dataset(tiny, configs=[EDGE_TPU_V1], strategy="scalar", progress_callback=scalar)
         evaluate_dataset(tiny, configs=[EDGE_TPU_V1], strategy="vectorized",
                          progress_callback=vectorized)
         assert scalar.ticks[-1] == vectorized.ticks[-1] == ("V1", 12, 12)

@@ -116,9 +116,7 @@ class TestTrainingLoop:
         graphs = [cell_to_graph(cell) for cell in cells]
         targets = np.linspace(-1, 1, len(cells))
         model = EncodeProcessDecode(seed=0)
-        history = train_model(
-            model, graphs[:30], targets[:30], graphs[30:], targets[30:], epochs=2
-        )
+        history = train_model(model, graphs[:30], targets[:30], graphs[30:], targets[30:], epochs=2)
         assert len(history.validation_losses) == 2
 
     def test_mismatched_lengths_rejected(self):
@@ -173,12 +171,8 @@ class TestLearnedPerformanceModel:
     def test_fit_predict_evaluate_cycle(self):
         cells = sample_unique_cells(80, seed=21)
         # Synthetic but structure-dependent target: proportional to conv3x3 count.
-        targets = np.array(
-            [0.2 + 0.5 * cell.op_count("conv3x3-bn-relu") for cell in cells]
-        )
-        model = LearnedPerformanceModel(
-            "V1", TrainingSettings(epochs=15, seed=0, batch_size=16)
-        )
+        targets = np.array([0.2 + 0.5 * cell.op_count("conv3x3-bn-relu") for cell in cells])
+        model = LearnedPerformanceModel("V1", TrainingSettings(epochs=15, seed=0, batch_size=16))
         history = model.fit(cells, targets)
         assert history.num_epochs == 15
         report = model.evaluate("test")
