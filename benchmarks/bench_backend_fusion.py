@@ -1,0 +1,152 @@
+"""Fused compile-and-time kernel vs the staged per-stage grid pipeline.
+
+The staged grid path (`BatchSimulator(strategy="staged")`) runs
+mapping → cache planning → timing → energy as four config-axis vectorized
+stages, materializing ``(num_configs, num_layers)`` intermediates between
+them.  The fused kernel (:func:`repro.simulator.fused.compile_and_time_table`)
+keeps the mapping/cache results at their unique-sub-configuration resolution
+and streams the config axis in cache-sized chunks through preallocated
+scratch buffers, producing latency and energy in one pass — bit-for-bit equal
+to the staged oracle (asserted here on the staged subset).
+
+Both paths run the full grid by default: at the headline scale (10k models x
+~120 configs, ~85M layer evaluations) the staged intermediates are ~785 MB
+*each* and its cost per configuration grows superlinearly with grid width —
+which is exactly the effect being measured, so extrapolating from a small
+subset would flatter it.  On memory-constrained machines
+``REPRO_BENCH_FUSION_STAGED_CONFIGS`` caps the staged grid to a subset (its
+rate is then an upper bound: narrower grids are cheaper per config).  The
+fused pass with forward-mode sensitivities enabled is reported as a context
+row.
+
+Smoke mode (``REPRO_BENCH_FUSION_SMOKE=1``) shrinks the population for CI and
+writes its JSON under the ``backend_fusion_smoke`` experiment so the
+committed full-scale baseline is never compared against smoke numbers.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+
+import numpy as np
+
+from repro.hwspace import AcceleratorSpace
+from repro.nasbench import NASBenchDataset
+from repro.nasbench.layer_table import LayerTable
+from repro.simulator import BatchSimulator, compile_and_time_table
+
+from _reporting import report, report_json
+
+#: CI smoke mode: small population, separate experiment name.
+SMOKE = os.environ.get("REPRO_BENCH_FUSION_SMOKE", "") == "1"
+
+#: Models of the swept population (headline scale: 10k).
+FUSION_MODELS = int(os.environ.get("REPRO_BENCH_FUSION_MODELS", "160" if SMOKE else "10000"))
+#: Hardware grid size for the fused kernel (headline scale: >= 100).
+FUSION_CONFIGS = int(os.environ.get("REPRO_BENCH_FUSION_CONFIGS", "12" if SMOKE else "120"))
+#: Configurations the staged oracle is timed on; 0 means the full grid
+#: (the honest comparison — staged cost per config grows with grid width).
+FUSION_STAGED_CONFIGS = int(
+    os.environ.get("REPRO_BENCH_FUSION_STAGED_CONFIGS", "4" if SMOKE else "0")
+)
+#: Timed repetitions (best-of).
+FUSION_ROUNDS = int(os.environ.get("REPRO_BENCH_FUSION_ROUNDS", "2"))
+
+EXPERIMENT = "backend_fusion_smoke" if SMOKE else "backend_fusion"
+
+#: Grid around V1: clock x PE geometry x cores x lanes x I/O (120 points).
+SPACE = AcceleratorSpace(
+    {
+        "clock_mhz": [600.0, 800.0, 1066.0, 1250.0, 1500.0],
+        "pes_x": [2, 4, 8],
+        "cores_per_pe": [2, 4],
+        "compute_lanes": [32, 64],
+        "io_bandwidth_gbps": [8.0, 16.0],
+    }
+)
+
+
+def _best_of(rounds, run):
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = run()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_backend_fusion(benchmark):
+    dataset = NASBenchDataset.generate(num_models=FUSION_MODELS, seed=2022)
+    networks = [record.build_network(dataset.network_config) for record in dataset]
+    table = LayerTable.from_networks(networks)
+    configs = list(itertools.islice(SPACE.enumerate(), FUSION_CONFIGS))
+    staged_configs = configs[:FUSION_STAGED_CONFIGS] if FUSION_STAGED_CONFIGS else configs
+    staged = BatchSimulator(strategy="staged")
+
+    # Equivalence guard (and warm-up): fused must match the staged oracle
+    # bit-for-bit on the subset both paths run.
+    staged_latency, staged_energy = staged.evaluate_table_grid(table, staged_configs)
+    oracle_check = compile_and_time_table(table, staged_configs)
+    np.testing.assert_array_equal(oracle_check.latency_ms, staged_latency)
+    np.testing.assert_array_equal(oracle_check.energy_mj, staged_energy)
+
+    staged_elapsed, _ = _best_of(
+        FUSION_ROUNDS, lambda: staged.evaluate_table_grid(table, staged_configs)
+    )
+    fused_elapsed, _ = _best_of(FUSION_ROUNDS, lambda: compile_and_time_table(table, configs))
+    dual_elapsed, _ = _best_of(
+        FUSION_ROUNDS, lambda: compile_and_time_table(table, configs, sensitivities=True)
+    )
+    benchmark.pedantic(lambda: compile_and_time_table(table, configs), rounds=1, iterations=1)
+
+    staged_rate = len(dataset) * len(staged_configs) / staged_elapsed
+    fused_rate = len(dataset) * len(configs) / fused_elapsed
+    dual_rate = len(dataset) * len(configs) / dual_elapsed
+    speedup = fused_rate / staged_rate
+    dual_overhead = fused_rate / dual_rate
+
+    benchmark.extra_info["models"] = len(dataset)
+    benchmark.extra_info["configs"] = len(configs)
+    benchmark.extra_info["fused_speedup_vs_staged"] = round(speedup, 1)
+    benchmark.extra_info["fused_evals_per_sec"] = round(fused_rate, 1)
+
+    lines = [
+        "Backend fusion — (model, config) evaluations/sec, "
+        f"{len(dataset)} models x {len(configs)} configs ({table.macs.size} layer rows)",
+        f"{'engine':<42}{'evals/sec':>12}{'elapsed (s)':>13}{'speedup':>10}",
+        f"{f'staged pipeline ({len(staged_configs)} configs)':<42}"
+        f"{staged_rate:>12.1f}{staged_elapsed:>13.3f}{1.0:>10.1f}",
+        f"{f'fused kernel ({len(configs)} configs)':<42}"
+        f"{fused_rate:>12.1f}{fused_elapsed:>13.3f}{speedup:>10.1f}",
+        f"{f'fused + sensitivities ({len(configs)} configs)':<42}"
+        f"{dual_rate:>12.1f}{dual_elapsed:>13.3f}{fused_rate / staged_rate / dual_overhead:>10.1f}",
+    ]
+    report(EXPERIMENT, lines)
+    report_json(
+        EXPERIMENT,
+        headline={"fused_speedup_vs_staged": speedup},
+        population={
+            "models": len(dataset),
+            "configs": len(configs),
+            "staged_configs": len(staged_configs),
+            "layer_rows": int(table.macs.size),
+        },
+        metrics={
+            "staged_evals_per_sec": staged_rate,
+            "fused_evals_per_sec": fused_rate,
+            "dual_evals_per_sec": dual_rate,
+            "sensitivity_overhead_x": dual_overhead,
+        },
+    )
+
+    # The >= 2x bound is the headline-scale acceptance criterion; at smoke
+    # scale the staged intermediates still fit in cache and the honest gap is
+    # smaller, so smoke only requires the fused kernel to never be slower
+    # (the comparator gates the smoke speedup against its own baseline).
+    floor = 1.0 if SMOKE else 2.0
+    assert speedup >= floor, (
+        f"fused kernel only {speedup:.2f}x the staged pipeline (floor {floor}x)"
+    )

@@ -24,7 +24,7 @@ from repro.arch import STUDIED_CONFIGS
 from repro.nasbench import NASBenchDataset
 from repro.service import MeasurementStore
 
-from _reporting import report
+from _reporting import report, report_json
 
 #: Population size of the sweep (small by paper standards, enough shards to
 #: make the resume arithmetic visible).
@@ -101,3 +101,20 @@ def test_resumable_sweep(benchmark, tmp_path):
             f"{elapsed:>13.3f}{total / elapsed:>12.1f}"
         )
     report("resumable_sweep", lines)
+    report_json(
+        "resumable_sweep",
+        headline={
+            "warm_speedup_vs_cold": cold_elapsed / warm_elapsed,
+            "resume_speedup_vs_cold": cold_elapsed / resume_elapsed,
+        },
+        population={
+            "models": total,
+            "shard_size": STORE_SHARD,
+            "configs": len(configs),
+        },
+        metrics={
+            "cold_models_per_sec": total / cold_elapsed,
+            "resume_models_per_sec": total / resume_elapsed,
+            "warm_models_per_sec": total / warm_elapsed,
+        },
+    )

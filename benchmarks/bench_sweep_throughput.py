@@ -16,7 +16,7 @@ import time
 from repro.nasbench import NASBenchDataset
 from repro.simulator import evaluate_dataset
 
-from _reporting import report
+from _reporting import report, report_json
 
 #: Scalar subset size: big enough for a stable rate, small enough to keep the
 #: benchmark turnaround reasonable.
@@ -72,6 +72,20 @@ def test_sweep_throughput(benchmark, bench_dataset, bench_configs):
         f"{sharded_elapsed:>14.3f}{sharded_rate / scalar_rate:>10.1f}",
     ]
     report("sweep_throughput", lines)
+    report_json(
+        "sweep_throughput",
+        headline={"vectorized_speedup": vectorized_rate / scalar_rate},
+        population={
+            "models": len(bench_dataset),
+            "scalar_models": len(subset),
+            "configs": len(configs),
+        },
+        metrics={
+            "scalar_models_per_sec": scalar_rate,
+            "vectorized_models_per_sec": vectorized_rate,
+            f"sharded_{SHARD_JOBS}_models_per_sec": sharded_rate,
+        },
+    )
 
     assert vectorized_rate >= 5.0 * scalar_rate, (
         f"vectorized sweep only {vectorized_rate / scalar_rate:.1f}x the scalar rate"

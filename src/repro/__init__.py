@@ -31,10 +31,20 @@ from .hwspace import (
     CoSearchResult,
     CoSearchSpec,
     HardwareFrontier,
+    SensitivityPoint,
 )
 from .analysis import ParetoArchive
-from .core import GraphTable, LearnedPerformanceModel, TrainingSettings
+from .core import (
+    ArrayBackend,
+    GraphTable,
+    LearnedPerformanceModel,
+    TrainingSettings,
+    available_backends,
+    get_backend,
+    use_backend,
+)
 from .errors import (
+    BackendError,
     CompilationError,
     DatasetError,
     InvalidCellError,
@@ -72,8 +82,10 @@ from .search import SearchEngine, SearchResult, SearchSpec
 from .service import MeasurementStore, StoreStats, SweepService
 from .simulator import (
     BatchSimulator,
+    FusedGridResult,
     MeasurementSet,
     PerformanceSimulator,
+    compile_and_time_table,
     evaluate_dataset,
 )
 
@@ -82,6 +94,8 @@ __version__ = "1.0.0"
 __all__ = [
     "AcceleratorConfig",
     "AcceleratorSpace",
+    "ArrayBackend",
+    "BackendError",
     "BatchSimulator",
     "Cell",
     "CoSearchEngine",
@@ -95,6 +109,7 @@ __all__ = [
     "EDGE_TPU_V3",
     "Experiment",
     "ExperimentResult",
+    "FusedGridResult",
     "GraphTable",
     "HardwareFrontier",
     "HardwareSweepExperiment",
@@ -120,19 +135,24 @@ __all__ = [
     "SearchExperimentResult",
     "SearchResult",
     "SearchSpec",
+    "SensitivityPoint",
     "ServiceError",
     "SimulationError",
     "StoreStats",
     "SweepService",
     "TrainingSettings",
+    "available_backends",
     "build_network",
     "cell_fingerprint",
+    "compile_and_time_table",
     "evaluate_dataset",
+    "get_backend",
     "get_config",
     "mutate_cell",
     "run_experiment",
     "run_hardware_sweep",
     "run_search_experiment",
     "sample_unique_cells",
+    "use_backend",
     "__version__",
 ]

@@ -21,6 +21,7 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from ..errors import ModelError
+from .backend import active_backend
 
 Array = np.ndarray
 
@@ -298,36 +299,48 @@ def concat(tensors: Sequence[Tensor], axis: int = 1) -> Tensor:
 
 
 def gather(a: Tensor, indices: np.ndarray) -> Tensor:
-    """Select rows of a 2-D tensor (``a[indices]``)."""
+    """Select rows of a 2-D tensor (``a[indices]``).
+
+    Forward and backward both route through the active array backend
+    (:mod:`repro.core.backend`): the gather itself and the scatter-add that
+    accumulates repeated-row gradients are the two primitives a JIT/device
+    backend can actually accelerate.
+    """
     indices = np.asarray(indices, dtype=np.int64)
-    out_data = a.data[indices]
+    backend = active_backend()
+    out_data = backend.take(a.data, indices)
 
     def backward(gradient: Array) -> None:
         if not a.requires_grad:
             return
         grad = np.zeros_like(a.data)
-        np.add.at(grad, indices, gradient)
+        backend.scatter_add(grad, indices, gradient)
         a._accumulate(grad)
 
     return Tensor(out_data, parents=(a,), backward=backward, name="gather")
 
 
-def segment_sum(a: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+def segment_sum(
+    a: Tensor, segment_ids: np.ndarray, num_segments: int, sorted_ids: bool = False
+) -> Tensor:
     """Sum rows of a 2-D tensor into *num_segments* buckets.
 
     This is the aggregation primitive of the graph network: summing edge
     features into their receiver nodes, or node/edge features into their
-    graph's global feature.
+    graph's global feature.  Routed through the active array backend; pass
+    ``sorted_ids=True`` when the ids are non-decreasing (the packed
+    graph-table aggregations are, by construction) to unlock the
+    sequential-reduction fast path — bit-for-bit the scatter-add result.
     """
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
     if segment_ids.shape[0] != a.data.shape[0]:
         raise ModelError("segment_ids must have one entry per row")
-    out_data = np.zeros((num_segments, a.data.shape[1]), dtype=np.float64)
-    np.add.at(out_data, segment_ids, a.data)
+    backend = active_backend()
+    out_data = backend.segment_sum(a.data, segment_ids, num_segments, sorted_ids=sorted_ids)
 
     def backward(gradient: Array) -> None:
         if a.requires_grad:
-            a._accumulate(gradient[segment_ids])
+            a._accumulate(backend.take(gradient, segment_ids))
 
     return Tensor(out_data, parents=(a,), backward=backward, name="segment_sum")
 

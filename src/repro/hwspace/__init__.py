@@ -23,6 +23,7 @@ from .frontier import (
     PERFORMANCE_METRICS,
     ConfigPoint,
     HardwareFrontier,
+    SensitivityPoint,
 )
 from .space import SEARCHABLE_FIELDS, AcceleratorSpace, config_digest
 
@@ -37,6 +38,7 @@ __all__ = [
     "PERFORMANCE_METRICS",
     "PairRecord",
     "SEARCHABLE_FIELDS",
+    "SensitivityPoint",
     "config_digest",
     "pair_key",
     "studied_baselines",

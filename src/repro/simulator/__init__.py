@@ -1,7 +1,8 @@
 """Cycle-level Edge TPU performance and energy simulator."""
 
-from .batch import BatchSimulator
+from .batch import GRID_STRATEGIES, BatchSimulator
 from .engine import PerformanceSimulator
+from .fused import FusedGridResult, compile_and_time_table
 from .latency import (
     LayerTiming,
     TimingTable,
@@ -23,6 +24,8 @@ from .runner import (
 
 __all__ = [
     "BatchSimulator",
+    "FusedGridResult",
+    "GRID_STRATEGIES",
     "LayerResult",
     "LayerTiming",
     "MeasurementSet",
@@ -32,6 +35,7 @@ __all__ = [
     "SimulationResult",
     "TimingTable",
     "activation_spill_bytes",
+    "compile_and_time_table",
     "cycles_to_milliseconds",
     "evaluate_dataset",
     "model_latency_cycles",

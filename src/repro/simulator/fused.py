@@ -1,0 +1,578 @@
+"""Fused mapping→cache→timing→energy grid kernel with config sensitivities.
+
+:meth:`~repro.simulator.batch.BatchSimulator.evaluate_table_grid` runs the
+grid as four staged array passes, each materializing full
+``(num_configs, num_layers)`` intermediates — a dozen-plus arrays of that
+shape for a large sweep, all streamed through DRAM once per stage.
+:func:`compile_and_time_table` fuses the chain: the mapping and cache kernels
+still run factorized over the *distinct* sub-configurations they read
+(exactly like the staged path), but nothing is ever gathered back to the full
+configuration axis.  Instead the timing/energy arithmetic walks the config
+axis in small chunks, threading a handful of reusable scratch buffers whose
+rows are gathered straight from the unique-level arrays — the only full-size
+traffic left is the per-chunk reads of four unique-level rows.
+
+The result is bit-for-bit the staged path's (the grid-equivalence suite
+asserts exact equality): every elementwise operation is the same numpy
+operation on the same values in the same association order, and both
+``np.add.reduceat`` and the scalar accumulation of the numba loop nest reduce
+segments sequentially in row order.
+
+On top of the fused primal, the kernel optionally propagates forward-mode
+dual numbers through the timing chain, yielding two per-(config, model)
+sensitivity columns:
+
+``d latency / d clock_ghz``
+    Exact for the real pipeline: no discrete compiler decision reads the
+    clock (it is in neither ``MAPPING_CONFIG_FIELDS`` nor
+    ``CACHE_CONFIG_FIELDS``), so away from branch ties the dual equals the
+    true derivative of ``evaluate_table_grid`` in the clock.
+``d latency / d sram_byte``
+    Defined under a documented *relaxed* cache model: discrete decisions
+    (greedy layer selection, spill thresholds, capacity truncation) are
+    frozen at the planned operating point, and a marginal byte of effective
+    capacity displaces streamed DRAM traffic proportionally to each layer's
+    share of the streamed bytes.  The ``sram_scale`` knob evaluates the same
+    relaxed, frozen-plan chain at a scaled SRAM size — it is exactly linear
+    in the scale, which is what the central-finite-difference validation
+    tests exploit.
+
+Branch conventions for the duals (ties resolved as the primal ``max`` does):
+the memory term is active when ``memory_cycles > compute_cycles``, and within
+it the DRAM term when ``dram_cycles >= refill_cycles``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..arch.config import AcceleratorConfig
+from ..arch.config_table import ConfigTable
+
+# The dynamic per-event coefficients are technology constants shared by every
+# configuration (only the static power varies); that invariant is what lets
+# the MAC/idle/SRAM energy terms collapse out of the config axis below.
+from ..arch.energy import (
+    _DRAM_BYTE_PJ,
+    _IDLE_LANE_PJ,
+    _MAC_PJ,
+    _SRAM_BYTE_PJ,
+    energy_parameters_table,
+)
+from ..arch.interconnect import on_chip_bytes_per_cycle, sustained_bytes_per_cycle
+from ..arch.memory import parameter_cache_bytes
+from ..compiler.param_cache import (
+    CACHE_CONFIG_FIELDS,
+    effective_cache_capacity_array,
+    greedy_cache_assign,
+)
+from ..compiler.tiling import MAPPING_CONFIG_FIELDS, map_layer_table
+from ..core.backend import ArrayBackend, get_backend
+from ..nasbench.layer_table import LayerTable
+
+try:  # pragma: no cover - exercised only when numba is installed
+    from numba import prange
+except Exception:  # noqa: BLE001 - any import failure means plain Python
+    prange = range
+
+_PJ_TO_MJ = 1e-9
+
+
+@dataclass(frozen=True)
+class FusedGridResult:
+    """Outputs of one fused grid evaluation, all shaped ``(C, M)``.
+
+    The sensitivity columns are ``None`` unless the kernel was asked for
+    them; energy rows of configurations without a published energy model are
+    NaN, matching the staged path.
+    """
+
+    latency_ms: np.ndarray
+    energy_mj: np.ndarray
+    #: d latency_ms / d clock_ghz (frozen-branch forward-mode dual).
+    dlatency_dclock_ghz: np.ndarray | None = None
+    #: d latency_ms / d on-chip SRAM byte (relaxed frozen-plan model).
+    dlatency_dsram_byte: np.ndarray | None = None
+
+
+@dataclass(frozen=True)
+class _UniqueLevelArrays:
+    """Everything the chunk loop gathers, at unique-sub-config resolution."""
+
+    #: (Cm, L) int64 — datapath cycles per unique mapping sub-config.
+    compute_cycles: np.ndarray
+    #: (Cm, L) float64 — idle-lane energy term per unique mapping sub-config.
+    idle_energy: np.ndarray
+    #: (Cc, L) int64 — DRAM bytes (streamed + spill + model I/O).
+    dram_bytes: np.ndarray
+    #: (Cc, L) int64 — on-chip refill bytes (cached weights).
+    refill_bytes: np.ndarray
+    #: (C,) rows into the mapping-unique arrays.
+    inverse_mapping: np.ndarray
+    #: (C,) rows into the cache-unique arrays.
+    inverse_cache: np.ndarray
+    #: (Cc, L) float64 — d streamed_bytes / d sram_scale (sensitivity runs).
+    dstreamed_dscale: np.ndarray | None = None
+
+
+def _auto_chunk(num_configs: int, num_layers: int) -> int:
+    """Config rows per chunk: keep the scratch buffers near cache size.
+
+    Large layer populations go (nearly) row-by-row so the scratch rows stay
+    hot; small populations take wide chunks so the numpy call overhead is
+    amortized over the config axis.
+    """
+    return max(1, min(num_configs, 500_000 // max(1, num_layers)))
+
+
+def _unique_level_arrays(
+    table: LayerTable,
+    configs: ConfigTable,
+    enable_parameter_caching: bool,
+    need_slope: bool,
+) -> _UniqueLevelArrays:
+    """Run the factorized mapping/cache front end of the fused kernel.
+
+    Identical factorization to the staged ``_grid_mapping``/``_grid_cache``
+    helpers, but the results are *kept* at unique resolution: the chunk loop
+    gathers individual rows instead of materializing full-(C, L) arrays.
+    """
+    starts = table.segment_starts
+    weights = table.weight_bytes
+    working_set = table.input_activation_bytes + table.output_activation_bytes
+
+    # Model input/output DRAM traffic, charged to the first/last layer rows.
+    extra = np.zeros(len(table), dtype=np.int64)
+    first_rows = table.model_offsets[:-1]
+    last_rows = table.model_offsets[1:] - 1
+    extra[first_rows] += table.input_activation_bytes[first_rows]
+    extra[last_rows] += table.output_activation_bytes[last_rows]
+
+    # --- mapping level: distinct MAPPING_CONFIG_FIELDS rows --------------- #
+    unique_m, inverse_m = configs.factor(MAPPING_CONFIG_FIELDS)
+    mapping = map_layer_table(table, unique_m)
+    compute_cycles = np.ascontiguousarray(
+        np.atleast_2d(mapping.compute_cycles), dtype=np.int64
+    )
+    # The idle-lane energy term only reads mapping fields (issued MAC slots)
+    # and the technology-constant idle coefficient, so it collapses to the
+    # mapping level too.  Same expressions as layer_energy_table.
+    macs = table.macs
+    issued_slots = compute_cycles * unique_m.macs_per_cycle
+    idle_energy = np.where(
+        macs > 0,
+        _IDLE_LANE_PJ * np.maximum(0, issued_slots - macs),
+        0.0,
+    )
+
+    # --- cache level: distinct CACHE_CONFIG_FIELDS rows ------------------- #
+    unique_c, inverse_c = configs.factor(CACHE_CONFIG_FIELDS)
+    total_weight = np.add.reduceat(weights, starts)
+    max_activation = np.maximum.reduceat(working_set, starts)
+    capacity = parameter_cache_bytes(unique_c, max_activation)
+    if enable_parameter_caching:
+        effective = effective_cache_capacity_array(total_weight, capacity)
+        cached_mask = greedy_cache_assign(weights, table.model_offsets, effective)
+        cached = np.where(cached_mask, weights, 0)
+        streamed = weights - cached
+    else:
+        streamed = np.broadcast_to(weights, capacity.shape[:-1] + (len(table),)).copy()
+        cached = weights - streamed
+
+    spill = np.where(working_set > unique_c.total_pe_memory_bytes, working_set, 0)
+    dram_bytes = streamed + spill + extra
+
+    dstreamed_dscale = None
+    if need_slope:
+        if enable_parameter_caching:
+            dstreamed_dscale = _relaxed_streamed_slope(
+                unique_c, table, streamed, total_weight, max_activation, capacity, effective
+            )
+        else:
+            # No caching: streamed bytes never react to the SRAM size (the
+            # spill threshold is a frozen discrete decision).
+            dstreamed_dscale = np.zeros(streamed.shape, dtype=np.float64)
+    return _UniqueLevelArrays(
+        compute_cycles=compute_cycles,
+        idle_energy=idle_energy,
+        dram_bytes=dram_bytes,
+        refill_bytes=cached,
+        inverse_mapping=inverse_m,
+        inverse_cache=inverse_c,
+        dstreamed_dscale=dstreamed_dscale,
+    )
+
+
+def _relaxed_streamed_slope(
+    unique_c: ConfigTable,
+    table: LayerTable,
+    streamed: np.ndarray,
+    total_weight: np.ndarray,
+    max_activation: np.ndarray,
+    capacity: np.ndarray,
+    effective: np.ndarray,
+) -> np.ndarray:
+    """Per-layer ``d streamed_bytes / d sram_scale`` under the relaxed model.
+
+    ``sram_scale`` multiplies every SRAM capacity (PE and core memories)
+    uniformly.  With the greedy plan frozen, the chain is
+
+    ``scale → cache capacity → effective capacity → streamed bytes``
+
+    with each link linearized at the operating point:
+
+    * capacity: when the activation reserve binds on the PE memory, scaling
+      buys nothing cacheable, so the PE term contributes only where the
+      reserve left headroom; the core memories always contribute their full
+      size.  Truncation to whole bytes is relaxed to continuous.
+    * effective capacity: slope 1 while the weights fit, 1.5 in the
+      linear-decay region (a capacity byte also retires half an overflow
+      byte's worth of decay), 0 once the cache has fully collapsed.
+    * streamed bytes: a marginal effective-capacity byte displaces streamed
+      DRAM traffic proportionally to each layer's share of its model's
+      streamed bytes (zero for fully-cached models).
+    """
+    pe_total = unique_c.total_pe_memory_bytes
+    reserve = np.minimum(2 * max_activation, pe_total)
+    dcapacity = (
+        unique_c.pe_memory_cache_fraction
+        * pe_total
+        * ((2 * max_activation <= pe_total) & (pe_total - reserve > 0))
+        + unique_c.total_core_memory_bytes
+    )
+    deffective = np.where(
+        capacity <= 0,
+        0.0,
+        np.where(total_weight <= capacity, 1.0, np.where(effective > 0, 1.5, 0.0)),
+    )
+    deffective_dscale = deffective * dcapacity  # (Cc, M)
+
+    streamed_total = np.add.reduceat(streamed, table.segment_starts, axis=-1)
+    model_ids = table.model_ids
+    share = streamed / np.maximum(streamed_total[..., model_ids], 1)
+    return -share * deffective_dscale[..., model_ids]
+
+
+def compile_and_time_table(
+    table: LayerTable,
+    configs: "Sequence[AcceleratorConfig] | ConfigTable",
+    enable_parameter_caching: bool = True,
+    backend: "str | ArrayBackend | None" = None,
+    config_chunk: int | None = None,
+    sensitivities: bool = False,
+    sram_scale: float = 1.0,
+) -> FusedGridResult:
+    """Fused grid evaluation: latency, energy and optional sensitivities.
+
+    Drop-in accelerated equivalent of the staged
+    :meth:`~repro.simulator.batch.BatchSimulator.evaluate_table_grid` chain
+    (``compile_layer_table → time_layer_table → layer_energy_table``), with
+    bit-for-bit identical ``latency_ms``/``energy_mj`` when ``sram_scale`` is
+    exactly ``1.0`` (the default; any other value evaluates the relaxed
+    frozen-plan cache model documented in the module docstring).
+
+    Parameters
+    ----------
+    backend:
+        Backend name, instance, or ``None`` for the process-wide active
+        backend.  A JIT-capable backend (numba) runs the chunk arithmetic as
+        one ``@njit(parallel=True)`` loop nest; otherwise the chunks run as
+        in-place numpy kernels over preallocated scratch.
+    config_chunk:
+        Config rows processed per scratch buffer; defaults to a size that
+        keeps the scratch near cache-resident.
+    sensitivities:
+        Also propagate the forward-mode duals and fill the two
+        ``dlatency_*`` columns (always on the numpy chunk path — the duals
+        are a diagnostics feature, not a hot loop).
+    """
+    resolved = get_backend(backend)
+    config_table = ConfigTable.from_configs(configs)
+    num_configs = len(config_table)
+    num_models = table.num_models
+    num_layers = len(table)
+    if num_models == 0 or num_layers == 0:
+        empty = np.zeros((num_configs, num_models), dtype=np.float64)
+        zeros = (np.zeros_like(empty), np.zeros_like(empty)) if sensitivities else (None, None)
+        return FusedGridResult(empty, np.full_like(empty, np.nan), *zeros)
+
+    unique = _unique_level_arrays(
+        table, config_table, enable_parameter_caching, sensitivities or sram_scale != 1.0
+    )
+    chunk = config_chunk or _auto_chunk(num_configs, num_layers)
+
+    # Full-config-axis columns, flattened to (C,) for row slicing.
+    sustained = np.ravel(sustained_bytes_per_cycle(config_table))
+    on_chip = np.ravel(on_chip_bytes_per_cycle(config_table)).astype(np.float64)
+    layer_overhead = np.ravel(config_table.layer_overhead_cycles)
+    inference_overhead = np.ravel(config_table.inference_overhead_cycles)
+    clock_hz = np.ravel(config_table.clock_hz)
+    params = energy_parameters_table(config_table)
+    static_power = np.ravel(params.static_power_w)
+
+    # Config-independent per-layer energy terms (identical to the staged
+    # broadcasts because the pJ coefficients are shared by all configs).
+    mac_energy = _MAC_PJ * table.macs
+    sram_energy = _SRAM_BYTE_PJ * (
+        table.weight_bytes + table.input_activation_bytes + table.output_activation_bytes
+    )
+
+    latency_ms = np.empty((num_configs, num_models), dtype=np.float64)
+    energy_mj = np.empty((num_configs, num_models), dtype=np.float64)
+
+    if resolved.jit and not sensitivities and sram_scale == 1.0:
+        kernel = resolved.njit(_fused_rows_loop_nest, parallel=True)
+        kernel(
+            unique.compute_cycles,
+            unique.idle_energy,
+            unique.dram_bytes,
+            unique.refill_bytes,
+            unique.inverse_mapping,
+            unique.inverse_cache,
+            sustained,
+            on_chip,
+            layer_overhead.astype(np.float64),
+            inference_overhead.astype(np.float64),
+            clock_hz,
+            static_power,
+            mac_energy,
+            sram_energy,
+            np.asarray(table.model_offsets, dtype=np.int64),
+            latency_ms,
+            energy_mj,
+        )
+    else:
+        _fused_rows_numpy(
+            unique,
+            table,
+            chunk,
+            sustained,
+            on_chip,
+            layer_overhead,
+            inference_overhead,
+            clock_hz,
+            static_power,
+            mac_energy,
+            sram_energy,
+            sram_scale,
+            latency_ms,
+            energy_mj,
+        )
+
+    energy_mj[~params.available] = np.nan
+
+    dlat_dclock = dlat_dsram = None
+    if sensitivities:
+        dlat_dclock, dlat_dsram = _sensitivity_pass(
+            unique,
+            table,
+            chunk,
+            sustained,
+            on_chip,
+            clock_hz,
+            np.ravel(config_table.total_on_chip_memory_bytes).astype(np.float64),
+            latency_ms,
+        )
+    return FusedGridResult(latency_ms, energy_mj, dlat_dclock, dlat_dsram)
+
+
+def _fused_rows_numpy(
+    unique: _UniqueLevelArrays,
+    table: LayerTable,
+    chunk: int,
+    sustained: np.ndarray,
+    on_chip: np.ndarray,
+    layer_overhead: np.ndarray,
+    inference_overhead: np.ndarray,
+    clock_hz: np.ndarray,
+    static_power: np.ndarray,
+    mac_energy: np.ndarray,
+    sram_energy: np.ndarray,
+    sram_scale: float,
+    latency_ms: np.ndarray,
+    energy_mj: np.ndarray,
+) -> None:
+    """Chunked in-place numpy body of the fused kernel.
+
+    Four gather buffers and two float work buffers of shape ``(chunk, L)``
+    are threaded through the whole timing+energy chain with ``out=`` kernels
+    — no temporary of that shape is allocated inside the loop on the exact
+    (``sram_scale == 1``) path.
+    """
+    num_configs = latency_ms.shape[0]
+    num_layers = unique.compute_cycles.shape[-1]
+    starts = table.segment_starts
+
+    g_cycles = np.empty((chunk, num_layers), dtype=np.int64)
+    g_dram = np.empty((chunk, num_layers), dtype=np.int64)
+    g_refill = np.empty((chunk, num_layers), dtype=np.int64)
+    g_idle = np.empty((chunk, num_layers), dtype=np.float64)
+    work_a = np.empty((chunk, num_layers), dtype=np.float64)
+    work_b = np.empty((chunk, num_layers), dtype=np.float64)
+    relaxed = sram_scale != 1.0
+
+    for begin in range(0, num_configs, chunk):
+        end = min(begin + chunk, num_configs)
+        rows = slice(0, end - begin)
+        rows_m = unique.inverse_mapping[begin:end]
+        rows_c = unique.inverse_cache[begin:end]
+        np.take(unique.compute_cycles, rows_m, axis=0, out=g_cycles[rows])
+        np.take(unique.dram_bytes, rows_c, axis=0, out=g_dram[rows])
+        np.take(unique.refill_bytes, rows_c, axis=0, out=g_refill[rows])
+        np.take(unique.idle_energy, rows_m, axis=0, out=g_idle[rows])
+        cc = g_cycles[rows]
+        db = g_dram[rows]
+        sus = sustained[begin:end, None]
+        ocb = on_chip[begin:end, None]
+
+        dram_cycles = np.divide(db, sus, out=work_a[rows])
+        refill_cycles = np.divide(g_refill[rows], ocb, out=work_b[rows])
+        if relaxed:
+            # Frozen-plan relaxation: branch masks come from the scale-1
+            # operating point, the streamed bytes move linearly with scale.
+            shift = unique.dstreamed_dscale[rows_c] * (sram_scale - 1.0)
+            dram_mask = dram_cycles >= refill_cycles
+            memory_mask = np.maximum(dram_cycles, refill_cycles) > cc
+            memory = np.where(
+                dram_mask, (db + shift) / sus, (g_refill[rows] - shift) / ocb
+            )
+            total = np.where(memory_mask, memory, cc) + layer_overhead[begin:end, None]
+        else:
+            memory = np.maximum(dram_cycles, refill_cycles, out=work_a[rows])
+            total = np.maximum(cc, memory, out=work_a[rows])
+            total += layer_overhead[begin:end, None]
+        model_cycles = inference_overhead[begin:end, None] + np.add.reduceat(
+            total, starts, axis=-1
+        )
+        np.multiply(
+            np.divide(model_cycles, clock_hz[begin:end, None], out=model_cycles),
+            1e3,
+            out=latency_ms[begin:end],
+        )
+
+        # Energy: same terms, same association order as layer_energy_table.
+        dynamic = np.add(mac_energy, g_idle[rows], out=work_b[rows])
+        dynamic += sram_energy
+        dynamic += np.multiply(db, _DRAM_BYTE_PJ, out=work_a[rows])
+        dynamic *= _PJ_TO_MJ
+        np.add(
+            np.add.reduceat(dynamic, starts, axis=-1),
+            static_power[begin:end, None] * latency_ms[begin:end],
+            out=energy_mj[begin:end],
+        )
+
+
+def _sensitivity_pass(
+    unique: _UniqueLevelArrays,
+    table: LayerTable,
+    chunk: int,
+    sustained: np.ndarray,
+    on_chip: np.ndarray,
+    clock_hz: np.ndarray,
+    total_sram_bytes: np.ndarray,
+    latency_ms: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Forward-mode dual propagation for the two config sensitivities.
+
+    Runs after (and independently of) the primal chunks: the duals need the
+    branch masks, which are recomputed here from the same gathered rows, so
+    the primal scratch discipline stays untouched.
+    """
+    num_configs, num_models = latency_ms.shape
+    starts = table.segment_starts
+    dlat_dclock = np.empty((num_configs, num_models), dtype=np.float64)
+    dlat_dsram = np.empty((num_configs, num_models), dtype=np.float64)
+
+    for begin in range(0, num_configs, chunk):
+        end = min(begin + chunk, num_configs)
+        rows_m = unique.inverse_mapping[begin:end]
+        rows_c = unique.inverse_cache[begin:end]
+        cc = unique.compute_cycles[rows_m]
+        d_stream = unique.dstreamed_dscale[rows_c]
+        sus = sustained[begin:end, None]
+        ocb = on_chip[begin:end, None]
+        clock = clock_hz[begin:end, None]
+
+        dram_cycles = unique.dram_bytes[rows_c] / sus
+        refill_cycles = unique.refill_bytes[rows_c] / ocb
+        dram_mask = dram_cycles >= refill_cycles
+        memory_mask = np.maximum(dram_cycles, refill_cycles) > cc
+
+        # Clock dual: dram_cycles scale linearly with the clock (sustained
+        # bytes/cycle carry a 1/clock factor), refill and compute do not.
+        dcycles_dclock = np.where(memory_mask & dram_mask, dram_cycles / clock, 0.0)
+        dtotal_dclock = np.add.reduceat(dcycles_dclock, starts, axis=-1)
+        # latency_ms = cycles * 1e3 / clock_hz; the quotient rule gives the
+        # propagated term minus the direct 1/clock term; 1e9 Hz per GHz.
+        dlat_dclock[begin:end] = (
+            dtotal_dclock * 1e3 / clock - latency_ms[begin:end] / clock
+        ) * 1e9
+
+        # SRAM dual: streamed bytes move with the scale, refill bytes move
+        # opposite; the frozen masks pick which term reaches the latency.
+        dmem_dscale = np.where(dram_mask, d_stream / sus, -d_stream / ocb)
+        dcycles_dscale = np.where(memory_mask, dmem_dscale, 0.0)
+        dtotal_dscale = np.add.reduceat(dcycles_dscale, starts, axis=-1)
+        # One unit of scale is total_sram_bytes actual bytes.
+        dlat_dsram[begin:end] = (
+            dtotal_dscale * 1e3 / clock / total_sram_bytes[begin:end, None]
+        )
+    return dlat_dclock, dlat_dsram
+
+
+def _fused_rows_loop_nest(
+    compute_cycles_u,
+    idle_energy_u,
+    dram_bytes_u,
+    refill_bytes_u,
+    inverse_mapping,
+    inverse_cache,
+    sustained,
+    on_chip,
+    layer_overhead,
+    inference_overhead,
+    clock_hz,
+    static_power,
+    mac_energy,
+    sram_energy,
+    model_offsets,
+    latency_ms,
+    energy_mj,
+):
+    """Scalar loop nest over (config, model, layer) — the numba body.
+
+    Written in the njit-compatible subset (explicit loops, no fancy
+    indexing) and decorated lazily by the numba backend with
+    ``@njit(parallel=True)``; as plain Python it computes the same values
+    (sequential per-segment accumulation matches ``np.add.reduceat``), which
+    is how its semantics are tested where numba is not installed.
+    """
+    num_configs = latency_ms.shape[0]
+    num_models = model_offsets.shape[0] - 1
+    for c in prange(num_configs):
+        im = inverse_mapping[c]
+        ic = inverse_cache[c]
+        sus = sustained[c]
+        ocb = on_chip[c]
+        overhead = layer_overhead[c]
+        for m in range(num_models):
+            cycles_sum = 0.0
+            energy_sum = 0.0
+            for row in range(model_offsets[m], model_offsets[m + 1]):
+                dram_cycles = dram_bytes_u[ic, row] / sus
+                refill_cycles = refill_bytes_u[ic, row] / ocb
+                memory = max(dram_cycles, refill_cycles)
+                cycles_sum += max(float(compute_cycles_u[im, row]), memory) + overhead
+                energy_sum += (
+                    mac_energy[row]
+                    + idle_energy_u[im, row]
+                    + sram_energy[row]
+                    + _DRAM_BYTE_PJ * dram_bytes_u[ic, row]
+                ) * _PJ_TO_MJ
+            model_cycles = inference_overhead[c] + cycles_sum
+            lat = model_cycles / clock_hz[c] * 1e3
+            latency_ms[c, m] = lat
+            energy_mj[c, m] = energy_sum + static_power[c] * lat

@@ -1,0 +1,243 @@
+"""Array-backend shim: detection, selection robustness and op parity.
+
+Covers the three contracts of :mod:`repro.core.backend`:
+
+* **selection never breaks a run** — an unset/blank ``REPRO_BACKEND`` means
+  numpy silently, a garbage value falls back to numpy with exactly one
+  warning, and only *explicit* programmatic requests raise
+  :class:`~repro.errors.BackendError`;
+* **detection treats broken optionals as absent** — a numba/cupy install
+  that raises at import (any exception) or imports as an attribute-less stub
+  must disappear from the registry instead of poisoning it;
+* **op parity** — every backend op is defined by its numpy semantics; the
+  sorted segment-sum fast path and the njit-compatible scatter loop are
+  checked bit-for-bit against the ``np.add.at`` reference.
+"""
+
+from __future__ import annotations
+
+import types
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import backend as backend_mod
+from repro.core.backend import (
+    ArrayBackend,
+    _detect_backends,
+    _probe_module,
+    _scatter_add_rows,
+    available_backends,
+    get_backend,
+    set_active_backend,
+    use_backend,
+)
+from repro.errors import BackendError
+
+
+@pytest.fixture()
+def fresh_warning_state(monkeypatch):
+    """Reset the warn-once latch so each test observes its own warning."""
+    monkeypatch.setattr(backend_mod, "_warned_fallback", False)
+
+
+class TestSelection:
+    def test_numpy_is_always_available_and_first(self):
+        names = available_backends()
+        assert names[0] == "numpy"
+        assert get_backend("numpy").name == "numpy"
+
+    def test_unset_or_blank_environment_means_numpy_silently(self, monkeypatch):
+        for value in (None, "", "   "):
+            if value is None:
+                monkeypatch.delenv(backend_mod.BACKEND_ENV, raising=False)
+            else:
+                monkeypatch.setenv(backend_mod.BACKEND_ENV, value)
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                backend = backend_mod._resolve_from_environment()
+            assert backend.name == "numpy"
+
+    def test_garbage_environment_falls_back_with_single_warning(
+        self, monkeypatch, fresh_warning_state
+    ):
+        monkeypatch.setenv(backend_mod.BACKEND_ENV, "definitely-not-a-backend")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = backend_mod._resolve_from_environment()
+            second = backend_mod._resolve_from_environment()
+        assert first.name == "numpy"
+        assert second.name == "numpy"
+        fallback = [w for w in caught if issubclass(w.category, RuntimeWarning)]
+        assert len(fallback) == 1
+        assert "definitely-not-a-backend" in str(fallback[0].message)
+
+    def test_unavailable_backend_in_environment_never_raises(
+        self, monkeypatch, fresh_warning_state
+    ):
+        # cupy needs a GPU stack; on any machine without it this exercises
+        # the requested-but-absent path end to end.
+        requested = "cupy" if "cupy" not in available_backends() else "rocm"
+        monkeypatch.setenv(backend_mod.BACKEND_ENV, requested)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            backend = backend_mod._resolve_from_environment()
+        assert backend.name == "numpy"
+        assert any(issubclass(w.category, RuntimeWarning) for w in caught)
+
+    def test_environment_resolution_is_case_insensitive(self, monkeypatch):
+        monkeypatch.setenv(backend_mod.BACKEND_ENV, "  NumPy ")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert backend_mod._resolve_from_environment().name == "numpy"
+
+    def test_explicit_unknown_backend_raises(self):
+        with pytest.raises(BackendError, match="available"):
+            get_backend("tpu")
+
+    def test_explicit_missing_optional_backend_raises(self):
+        if "numba" in available_backends():
+            pytest.skip("numba is installed here; the absent-path is covered elsewhere")
+        with pytest.raises(BackendError, match="numba"):
+            get_backend("numba")
+
+    def test_get_backend_passthrough_and_default(self):
+        instance = ArrayBackend()
+        assert get_backend(instance) is instance
+        assert get_backend(None) is backend_mod.active_backend()
+
+    def test_use_backend_restores_on_exit_and_error(self):
+        before = backend_mod.active_backend()
+        with use_backend("numpy") as backend:
+            assert backend_mod.active_backend() is backend
+        assert backend_mod.active_backend() is before
+        with pytest.raises(RuntimeError):
+            with use_backend("numpy"):
+                raise RuntimeError("boom")
+        assert backend_mod.active_backend() is before
+
+    def test_set_active_backend_roundtrip(self):
+        before = backend_mod.active_backend()
+        try:
+            chosen = set_active_backend("numpy")
+            assert backend_mod.active_backend() is chosen
+        finally:
+            set_active_backend(before)
+
+
+class TestDetection:
+    def test_probe_finds_a_real_module(self):
+        import math
+
+        assert _probe_module("math", ("sqrt", "floor")) is math
+
+    def test_import_error_treated_as_absent(self, monkeypatch):
+        def broken(name):
+            raise ImportError(f"no module named {name}")
+
+        monkeypatch.setattr(backend_mod.importlib, "import_module", broken)
+        assert _probe_module("numba", ("njit", "prange")) is None
+        assert set(_detect_backends()) == {"numpy"}
+
+    def test_half_installed_module_raising_os_error_treated_as_absent(self, monkeypatch):
+        # Broken binary wheels raise all sorts of things at import time —
+        # anything, not just ImportError, must read as "absent".
+        def broken(name):
+            raise OSError(f"{name}: cannot load shared object")
+
+        monkeypatch.setattr(backend_mod.importlib, "import_module", broken)
+        assert _probe_module("cupy", ("asarray",)) is None
+        assert set(_detect_backends()) == {"numpy"}
+
+    def test_stub_module_missing_attributes_treated_as_absent(self, monkeypatch):
+        stub = types.SimpleNamespace(njit=lambda **_: (lambda fn: fn))  # no prange
+
+        monkeypatch.setattr(backend_mod.importlib, "import_module", lambda name: stub)
+        assert _probe_module("numba", ("njit", "prange")) is None
+        assert set(_detect_backends()) == {"numpy"}
+
+
+class TestSegmentOps:
+    def _reference_segment_sum(self, values, segment_ids, num_segments):
+        out = np.zeros((num_segments,) + values.shape[1:], dtype=values.dtype)
+        np.add.at(out, segment_ids, values)
+        return out
+
+    def test_sorted_segment_sum_matches_scatter_reference(self):
+        rng = np.random.default_rng(0)
+        values = rng.random((200, 3))
+        # Sorted ids with empty segments on both ends and in the middle.
+        segment_ids = np.sort(rng.integers(1, 9, size=200))
+        backend = get_backend("numpy")
+        result = backend.segment_sum(values, segment_ids, 11, sorted_ids=True)
+        # reduceat reduces each run pairwise where add.at accumulates
+        # sequentially: equal to roundoff, not bit-for-bit.
+        np.testing.assert_allclose(
+            result, self._reference_segment_sum(values, segment_ids, 11), rtol=1e-9
+        )
+        empty = np.flatnonzero(np.bincount(segment_ids, minlength=11) == 0)
+        assert empty.size and not result[empty].any()
+
+    def test_wrong_sorted_hint_still_sums_correctly(self):
+        rng = np.random.default_rng(1)
+        values = rng.random((64, 2))
+        segment_ids = rng.integers(0, 5, size=64)  # NOT sorted
+        backend = get_backend("numpy")
+        result = backend.segment_sum(values, segment_ids, 5, sorted_ids=True)
+        np.testing.assert_allclose(
+            result, self._reference_segment_sum(values, segment_ids, 5), rtol=1e-9
+        )
+
+    def test_empty_values_give_zero_segments(self):
+        backend = get_backend("numpy")
+        result = backend.segment_sum(np.empty((0, 4)), np.empty(0, dtype=np.int64), 3)
+        assert result.shape == (3, 4)
+        assert not result.any()
+
+    def test_scatter_add_matches_inplace_reference(self):
+        rng = np.random.default_rng(2)
+        values = rng.random((50, 3))
+        indices = rng.integers(0, 7, size=50)
+        reference = np.zeros((7, 3))
+        np.add.at(reference, indices, values)
+        target = np.zeros((7, 3))
+        get_backend("numpy").scatter_add(target, indices, values)
+        np.testing.assert_array_equal(target, reference)
+
+    def test_plain_python_scatter_loop_matches_numpy(self):
+        # The numba kernel body must be correct when run as plain Python —
+        # that is how environments without numba exercise its semantics.
+        rng = np.random.default_rng(3)
+        values = rng.random((40, 2))
+        indices = rng.integers(0, 6, size=40)
+        reference = np.zeros((6, 2))
+        np.add.at(reference, indices, values)
+        target = np.zeros((6, 2))
+        _scatter_add_rows(target, indices, values)
+        np.testing.assert_array_equal(target, reference)
+
+    def test_take_gathers_rows(self):
+        values = np.arange(12.0).reshape(6, 2)
+        indices = np.array([5, 0, 0, 3])
+        np.testing.assert_array_equal(get_backend("numpy").take(values, indices), values[indices])
+
+    @pytest.mark.skipif(
+        "numba" not in available_backends(), reason="numba not installed in this environment"
+    )
+    def test_numba_segment_ops_match_numpy(self):
+        rng = np.random.default_rng(4)
+        values = rng.random((128, 3))
+        segment_ids = rng.integers(0, 9, size=128)
+        numba_backend = get_backend("numba")
+        numpy_backend = get_backend("numpy")
+        np.testing.assert_allclose(
+            numba_backend.segment_sum(values, segment_ids, 9),
+            numpy_backend.segment_sum(values, segment_ids, 9),
+            rtol=1e-9,
+        )
+        target_numba = np.zeros((9, 3))
+        target_numpy = np.zeros((9, 3))
+        numba_backend.scatter_add(target_numba, segment_ids, values)
+        numpy_backend.scatter_add(target_numpy, segment_ids, values)
+        np.testing.assert_allclose(target_numba, target_numpy, rtol=1e-9)

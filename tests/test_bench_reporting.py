@@ -1,0 +1,104 @@
+"""Benchmark JSON reporting and baseline comparator.
+
+The benchmark harness lives outside the package (``benchmarks/``), so the
+reporting module is loaded here by path.  Covered: the shape of the
+``BENCH_*.json`` payload (machine fingerprint + measured calibration
+constant), and the comparator semantics — within-band pass, >tolerance
+regression, vanished/new headline metrics, and the population-mismatch
+short-circuit that stops apples-to-oranges ratio comparisons.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_REPORTING_PATH = Path(__file__).parent.parent / "benchmarks" / "_reporting.py"
+
+
+@pytest.fixture(scope="module")
+def reporting():
+    spec = importlib.util.spec_from_file_location("bench_reporting", _REPORTING_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _payload(headline, population=None, metrics=None):
+    return {
+        "schema": 1,
+        "experiment": "x",
+        "headline": headline,
+        "population": population or {"models": 100},
+        "metrics": metrics or {},
+    }
+
+
+class TestReportJson:
+    def test_writes_normalized_payload(self, reporting, monkeypatch, tmp_path):
+        monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path)
+        payload = reporting.report_json(
+            "unit_test",
+            headline={"speedup": 4.56789},
+            population={"models": 10},
+            metrics={"rate": 123.456789},
+        )
+        on_disk = json.loads((tmp_path / "BENCH_unit_test.json").read_text())
+        assert on_disk == payload
+        assert on_disk["schema"] == reporting.BENCH_SCHEMA
+        assert on_disk["headline"] == {"speedup": 4.5679}
+        assert on_disk["population"] == {"models": 10}
+        assert on_disk["calibration_seconds"] > 0
+        machine = on_disk["machine"]
+        assert machine["numpy"] and machine["python"] and machine["platform"]
+
+    def test_calibration_is_cached_and_positive(self, reporting):
+        first = reporting.machine_calibration()
+        second = reporting.machine_calibration()
+        assert first == second
+        assert 0 < first < 60
+
+    def test_load_baseline_missing_returns_none(self, reporting, tmp_path):
+        assert reporting.load_baseline("nope", baselines_dir=tmp_path) is None
+
+
+class TestComparator:
+    def test_within_tolerance_passes(self, reporting):
+        baseline = _payload({"speedup": 10.0})
+        current = _payload({"speedup": 8.6})  # -14% on a 15% band
+        assert reporting.compare_to_baseline(current, baseline, tolerance=0.15) == []
+
+    def test_regression_beyond_tolerance_fails(self, reporting):
+        baseline = _payload({"speedup": 10.0})
+        current = _payload({"speedup": 8.4})  # -16%
+        problems = reporting.compare_to_baseline(current, baseline, tolerance=0.15)
+        assert len(problems) == 1
+        assert "speedup regressed" in problems[0]
+
+    def test_improvement_always_passes(self, reporting):
+        baseline = _payload({"speedup": 10.0})
+        current = _payload({"speedup": 25.0})
+        assert reporting.compare_to_baseline(current, baseline) == []
+
+    def test_missing_headline_metric_is_a_regression(self, reporting):
+        baseline = _payload({"speedup": 10.0, "warm_speedup": 25.0})
+        current = _payload({"speedup": 10.0})
+        problems = reporting.compare_to_baseline(current, baseline)
+        assert any("missing" in problem for problem in problems)
+
+    def test_new_headline_metric_without_baseline_is_flagged(self, reporting):
+        baseline = _payload({"speedup": 10.0})
+        current = _payload({"speedup": 10.0, "extra": 3.0})
+        problems = reporting.compare_to_baseline(current, baseline)
+        assert any("no committed baseline" in problem for problem in problems)
+
+    def test_population_mismatch_short_circuits(self, reporting):
+        baseline = _payload({"speedup": 10.0}, population={"models": 10000, "configs": 120})
+        current = _payload({"speedup": 2.0}, population={"models": 160, "configs": 120})
+        problems = reporting.compare_to_baseline(current, baseline)
+        assert len(problems) == 1
+        assert "population mismatch" in problems[0]
+        assert "models" in problems[0]

@@ -1,0 +1,201 @@
+"""Fused compile-and-time kernel: parity with the staged oracle, duals vs FD.
+
+Three layers of guarantees:
+
+* **bit-for-bit parity** — the fused single-pass kernel must reproduce the
+  staged per-stage grid pipeline exactly (not to a tolerance) in both
+  parameter-caching modes, on a grid including the three mutated designs
+  covering the clock / geometry / cache-fraction axes;
+* **loop-nest semantics** — the ``@njit(parallel=True)`` loop nest is a
+  plain-Python function until numba compiles it, so its semantics are tested
+  here without numba (via a jit-capable stub backend whose ``njit`` is the
+  identity) and, when numba is installed, through the real compiled kernel;
+* **forward-mode sensitivities vs central finite differences** — the clock
+  dual against the *real* staged pipeline re-run at perturbed clocks, the
+  SRAM dual against the relaxed frozen-plan model it differentiates
+  (``sram_scale``), both at 1e-6 relative tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch import EDGE_TPU_V1, EDGE_TPU_V2, STUDIED_CONFIGS
+from repro.core.backend import ArrayBackend, available_backends
+from repro.errors import SimulationError
+from repro.nasbench import NASBenchDataset
+from repro.nasbench.layer_table import LayerTable
+from repro.simulator import GRID_STRATEGIES, BatchSimulator, compile_and_time_table
+from repro.simulator.fused import _fused_rows_loop_nest
+
+#: Studied classes plus three mutated designs (clock, geometry, cache axes).
+MUTATED_CONFIGS = [
+    EDGE_TPU_V1.with_overrides(name="hw-fast-clock", clock_mhz=1250.0),
+    EDGE_TPU_V1.with_overrides(name="hw-wide-grid", pes_x=8, pes_y=2, compute_lanes=32),
+    EDGE_TPU_V2.with_overrides(
+        name="hw-small-cache", pe_memory_cache_fraction=0.25, cores_per_pe=2
+    ),
+]
+PARITY_CONFIGS = list(STUDIED_CONFIGS.values()) + MUTATED_CONFIGS
+
+
+@pytest.fixture(scope="module")
+def fused_dataset():
+    return NASBenchDataset.generate(num_models=24, seed=17)
+
+
+@pytest.fixture(scope="module")
+def fused_table(fused_dataset):
+    networks = [record.build_network(fused_dataset.network_config) for record in fused_dataset]
+    return LayerTable.from_networks(networks)
+
+
+class _IdentityJitBackend(ArrayBackend):
+    """jit-capable backend whose "compiler" is the identity.
+
+    Forces :func:`compile_and_time_table` down the loop-nest branch while
+    executing it as plain Python — the loop nest's semantics are then
+    testable in environments without numba.
+    """
+
+    name = "identity-jit"
+    jit = True
+
+    def njit(self, function, parallel: bool = True):
+        return function
+
+
+class TestFusedParity:
+    @pytest.mark.parametrize("caching", [True, False])
+    def test_fused_matches_staged_bit_for_bit(self, fused_table, caching):
+        staged = BatchSimulator(enable_parameter_caching=caching, strategy="staged")
+        staged_latency, staged_energy = staged.evaluate_table_grid(fused_table, PARITY_CONFIGS)
+        result = compile_and_time_table(
+            fused_table, PARITY_CONFIGS, enable_parameter_caching=caching
+        )
+        np.testing.assert_array_equal(result.latency_ms, staged_latency)
+        np.testing.assert_array_equal(result.energy_mj, staged_energy)
+
+    @pytest.mark.parametrize("chunk", [1, 3, 1000])
+    def test_chunking_does_not_change_results(self, fused_table, chunk):
+        baseline = compile_and_time_table(fused_table, PARITY_CONFIGS)
+        chunked = compile_and_time_table(fused_table, PARITY_CONFIGS, config_chunk=chunk)
+        np.testing.assert_array_equal(chunked.latency_ms, baseline.latency_ms)
+        np.testing.assert_array_equal(chunked.energy_mj, baseline.energy_mj)
+
+    def test_batch_simulator_routes_grid_through_fused_by_default(self, fused_table):
+        assert GRID_STRATEGIES == ("fused", "staged")
+        fused_sim = BatchSimulator()
+        assert fused_sim.strategy == "fused"
+        latency, energy = fused_sim.evaluate_table_grid(fused_table, PARITY_CONFIGS)
+        result = compile_and_time_table(fused_table, PARITY_CONFIGS)
+        np.testing.assert_array_equal(latency, result.latency_ms)
+        np.testing.assert_array_equal(energy, result.energy_mj)
+
+    def test_unknown_strategy_is_rejected(self):
+        with pytest.raises(SimulationError, match="strategy"):
+            BatchSimulator(strategy="warp-speed")
+
+    @pytest.mark.parametrize("caching", [True, False])
+    def test_loop_nest_plain_python_matches_numpy_path(self, fused_table, caching):
+        reference = compile_and_time_table(
+            fused_table, PARITY_CONFIGS, enable_parameter_caching=caching
+        )
+        looped = compile_and_time_table(
+            fused_table,
+            PARITY_CONFIGS,
+            enable_parameter_caching=caching,
+            backend=_IdentityJitBackend(),
+        )
+        np.testing.assert_allclose(
+            looped.latency_ms, reference.latency_ms, rtol=1e-9, equal_nan=True
+        )
+        np.testing.assert_allclose(looped.energy_mj, reference.energy_mj, rtol=1e-9, equal_nan=True)
+
+    @pytest.mark.skipif(
+        "numba" not in available_backends(), reason="numba not installed in this environment"
+    )
+    def test_numba_backend_parity(self, fused_table):
+        reference = compile_and_time_table(fused_table, PARITY_CONFIGS, backend="numpy")
+        compiled = compile_and_time_table(fused_table, PARITY_CONFIGS, backend="numba")
+        np.testing.assert_allclose(
+            compiled.latency_ms, reference.latency_ms, rtol=1e-9, equal_nan=True
+        )
+        np.testing.assert_allclose(
+            compiled.energy_mj, reference.energy_mj, rtol=1e-9, equal_nan=True
+        )
+
+    def test_loop_nest_is_importable_plain_function(self):
+        # The symbol the jit branch compiles must stay a plain function so
+        # the identity-jit test above really covers the compiled semantics.
+        assert callable(_fused_rows_loop_nest)
+        assert getattr(_fused_rows_loop_nest, "__wrapped__", None) is None
+
+
+class TestSensitivities:
+    def test_disabled_by_default(self, fused_table):
+        result = compile_and_time_table(fused_table, PARITY_CONFIGS)
+        assert result.dlatency_dclock_ghz is None
+        assert result.dlatency_dsram_byte is None
+
+    def test_clock_dual_matches_staged_finite_difference(self, fused_table):
+        result = compile_and_time_table(fused_table, MUTATED_CONFIGS, sensitivities=True)
+        simulator = BatchSimulator(strategy="staged")
+        h_mhz = 0.05  # +- 50 kHz around each design's clock
+        for index, config in enumerate(MUTATED_CONFIGS):
+            plus, _ = simulator.evaluate_table(
+                fused_table, config.with_overrides(clock_mhz=config.clock_mhz + h_mhz)
+            )
+            minus, _ = simulator.evaluate_table(
+                fused_table, config.with_overrides(clock_mhz=config.clock_mhz - h_mhz)
+            )
+            fd = (plus - minus) / (2.0 * h_mhz * 1e-3)  # per GHz
+            np.testing.assert_allclose(
+                result.dlatency_dclock_ghz[index], fd, rtol=1e-6, atol=1e-9
+            )
+
+    @pytest.mark.parametrize("caching", [True, False])
+    def test_sram_dual_matches_relaxed_model_finite_difference(self, fused_table, caching):
+        result = compile_and_time_table(
+            fused_table, MUTATED_CONFIGS, enable_parameter_caching=caching, sensitivities=True
+        )
+        h = 1e-4
+        plus = compile_and_time_table(
+            fused_table, MUTATED_CONFIGS, enable_parameter_caching=caching, sram_scale=1.0 + h
+        )
+        minus = compile_and_time_table(
+            fused_table, MUTATED_CONFIGS, enable_parameter_caching=caching, sram_scale=1.0 - h
+        )
+        fd_per_scale = (plus.latency_ms - minus.latency_ms) / (2.0 * h)
+        total_bytes = np.array(
+            [config.total_on_chip_memory_bytes for config in MUTATED_CONFIGS], dtype=np.float64
+        )
+        analytic_per_scale = result.dlatency_dsram_byte * total_bytes[:, None]
+        np.testing.assert_allclose(analytic_per_scale, fd_per_scale, rtol=1e-6, atol=1e-12)
+        if not caching:
+            # With caching disabled the streamed plan is frozen: the relaxed
+            # model must report zero SRAM response, not a phantom gradient.
+            assert not analytic_per_scale.any()
+
+    def test_clock_dual_is_nonpositive_and_sram_dual_mostly_zero_or_negative(self, fused_table):
+        # More clock or more SRAM never makes a frozen-plan design slower.
+        result = compile_and_time_table(fused_table, PARITY_CONFIGS, sensitivities=True)
+        assert (result.dlatency_dclock_ghz <= 0.0).all()
+        assert (result.dlatency_dsram_byte <= 0.0).all()
+
+    def test_frontier_sensitivity_report(self, fused_dataset):
+        from repro.hwspace import HardwareFrontier, SensitivityPoint
+
+        frontier = HardwareFrontier(fused_dataset)
+        points = frontier.sensitivity_report(MUTATED_CONFIGS)
+        assert len(points) == len(MUTATED_CONFIGS)
+        summaries = frontier.summarize(MUTATED_CONFIGS)
+        for point, summary in zip(points, summaries):
+            assert isinstance(point, SensitivityPoint)
+            assert point.digest == summary.digest
+            assert point.num_models == summary.num_models
+            np.testing.assert_allclose(point.mean_latency_ms, summary.mean_latency_ms, rtol=1e-12)
+            assert point.mean_dlatency_dclock_ghz <= 0.0
+            assert point.mean_dlatency_dsram_mib <= 0.0
+            assert 0.0 <= point.sram_sensitive_fraction <= 1.0
