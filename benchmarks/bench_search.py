@@ -21,7 +21,7 @@ from repro import MeasurementStore, SearchEngine, SearchSpec
 from repro.core import TrainingSettings
 from repro.search import STRATEGIES
 
-from _reporting import report
+from _reporting import report, report_json
 
 #: Models simulated per generation (population and aging-window size).
 SEARCH_POP = int(os.environ.get("REPRO_BENCH_SEARCH_POP", "16"))
@@ -71,6 +71,11 @@ def test_search_sample_efficiency(benchmark, tmp_path):
         return result
 
     benchmark.pedantic(replay, rounds=3, iterations=1)
+    replay_elapsed = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        replay()
+        replay_elapsed = min(replay_elapsed, time.perf_counter() - start)
 
     budget = _spec("random").simulation_budget
     benchmark.extra_info["budget"] = budget
@@ -102,3 +107,24 @@ def test_search_sample_efficiency(benchmark, tmp_path):
         )
         lines.append(f"{strategy:<12}{trajectory}")
     report("search_sample_efficiency", lines)
+    report_json(
+        "search",
+        # Ratios only: objective gains (lower latency → ratio > 1) and the
+        # warm-replay speedup are machine-independent, unlike raw seconds.
+        headline={
+            "evolution_gain_vs_random": random_best / results["evolution"].best_objective,
+            "predictor_gain_vs_random": random_best / results["predictor"].best_objective,
+            "replay_speedup_vs_search": elapsed["evolution"] / replay_elapsed,
+        },
+        population={
+            "population": SEARCH_POP,
+            "generations": SEARCH_GENS,
+            "budget": budget,
+        },
+        metrics={
+            **{f"{strategy}_best_ms": results[strategy].best_objective for strategy in STRATEGIES},
+            **{f"{strategy}_elapsed_s": elapsed[strategy] for strategy in STRATEGIES},
+            "replay_elapsed_s": replay_elapsed,
+            "accuracy_floor": SEARCH_FLOOR,
+        },
+    )

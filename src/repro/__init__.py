@@ -139,7 +139,10 @@ __all__ = [
     "ServiceError",
     "SimulationError",
     "StoreStats",
+    "SweepCoordinator",
+    "SweepManifest",
     "SweepService",
+    "SweepWorker",
     "TrainingSettings",
     "available_backends",
     "build_network",
@@ -156,3 +159,13 @@ __all__ = [
     "use_backend",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    # Lazily resolved so ``python -m repro.service.worker`` (and ``.queue``)
+    # run those modules as ``__main__`` without being pre-imported here.
+    if name in ("SweepCoordinator", "SweepManifest", "SweepWorker"):
+        from . import service
+
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

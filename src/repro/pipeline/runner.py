@@ -109,6 +109,7 @@ def run_experiment(
     experiment: Experiment,
     cache_dir: str | Path | None = None,
     progress: Callable[[str], None] | None = None,
+    compact: bool = False,
 ) -> ExperimentResult:
     """Run *experiment* end to end, reusing cached artifacts when possible.
 
@@ -117,6 +118,12 @@ def run_experiment(
     run with an unchanged spec then skips both the sweep and every training
     loop.  Grid cells whose metric is unavailable for a configuration (energy
     on V3) are skipped and listed in ``result.skipped``.
+
+    With *compact* (requires *cache_dir*), the finished labeling sweep is
+    additionally merged into one memory-mapped consolidated file
+    (:meth:`~repro.service.store.MeasurementStore.compact`), so warm re-runs
+    load the measurements in O(open) instead of one npz per (shard,
+    configuration) pair.
     """
     start = time.perf_counter()
     say = progress or (lambda message: None)
@@ -148,7 +155,15 @@ def run_experiment(
                 f"labeling: simulated {store.stats.pairs_simulated} and loaded "
                 f"{store.stats.pairs_loaded} (shard, config) pairs"
             )
+        if compact:
+            result = store.compact(dataset, configs=configs)
+            say(
+                f"compacted {result.pairs} (shard, config) pairs into "
+                f"{result.data_path.name} ({result.loose_removed} loose files removed)"
+            )
     else:
+        if compact:
+            raise PipelineError("compact=True requires a cache_dir to compact into")
         say(f"labeling population on {len(configs)} configurations (vectorized sweep)")
         measurements = simulator.evaluate(dataset, configs=configs)
 

@@ -49,7 +49,7 @@ from ..arch.config import STUDIED_CONFIGS, AcceleratorConfig, get_config
 from ..errors import ServiceError
 from ..nasbench.dataset import NASBenchDataset
 from ..nasbench.layer_table import LayerTable
-from ..simulator.batch import BatchSimulator, _sweep_shard
+from ..simulator.batch import BatchSimulator, simulate_shard
 from ..simulator.runner import MeasurementSet
 
 #: Bump to invalidate every stored shard when the on-disk format changes.
@@ -78,8 +78,12 @@ def read_npz(path: Path) -> dict[str, np.ndarray] | None:
     """Load an npz artifact; a missing or corrupt file is ``None`` (a miss).
 
     Corruption can happen when concurrent runs share a store directory and a
-    writer dies mid-replace; degrading to a miss re-computes the artifact
-    instead of crashing or mislabeling.
+    writer dies mid-``write_npz`` on a filesystem whose rename is not atomic
+    (or truncates the file some other way); degrading to a miss re-computes
+    the artifact instead of crashing or mislabeling.  The corrupt file is
+    quarantined to ``<name>.corrupt`` so the miss is durable — the next
+    writer re-simulates and publishes a fresh file instead of tripping over
+    the same truncated bytes forever.
     """
     path = Path(path)
     if not path.exists():
@@ -88,6 +92,11 @@ def read_npz(path: Path) -> dict[str, np.ndarray] | None:
         with np.load(path, allow_pickle=False) as archive:
             return {name: archive[name] for name in archive.files}
     except (OSError, ValueError, zipfile.BadZipFile):
+        quarantine = path.with_name(path.name + ".corrupt")
+        try:
+            path.replace(quarantine)
+        except OSError:  # pragma: no cover - racing readers; either one wins
+            pass
         return None
 
 
@@ -121,11 +130,26 @@ class StoreStats:
     pairs_simulated: int = 0
     models_loaded: int = 0
     models_simulated: int = 0
+    #: Of the loaded pairs, how many were served from a compacted file's
+    #: memory map rather than a loose per-pair npz (a subset of
+    #: ``pairs_loaded``).
+    pairs_compacted: int = 0
 
     @property
     def pairs(self) -> int:
         """Total (shard, configuration) pairs touched."""
         return self.pairs_loaded + self.pairs_simulated
+
+
+@dataclass(frozen=True)
+class CompactionResult:
+    """Outcome of one :meth:`MeasurementStore.compact` run."""
+
+    data_path: Path
+    index_path: Path
+    pairs: int
+    rows: int
+    loose_removed: int
 
 
 class MeasurementStore:
@@ -174,6 +198,11 @@ class MeasurementStore:
         self._simulator = simulator or BatchSimulator(
             enable_parameter_caching=enable_parameter_caching
         )
+        #: (config, key) → (data path, offset, length, fingerprints); ``None``
+        #: until the first read scans the compacted indices.
+        self._compact_entries: dict[tuple[str, str], tuple[Path, int, int, list[str]]] | None = None
+        #: Memory-mapped compacted data arrays, one per data file.
+        self._compact_data: dict[Path, np.ndarray] = {}
 
     # ------------------------------------------------------------------ #
     # Shard layout and keying
@@ -207,7 +236,11 @@ class MeasurementStore:
         return self.root / f"{self.prefix}-{config_name}-{key}.npz"
 
     def available_configs(self) -> list[str]:
-        """Configuration names with at least one shard on disk."""
+        """Configuration names with at least one shard on disk.
+
+        Counts both loose per-pair files and pairs merged into a compacted
+        file (after compaction the loose files are gone).
+        """
         if not self.root.is_dir():
             return []
         pattern = re.compile(re.escape(self.prefix) + r"-(.+)-[0-9a-f]{%d}\.npz$" % _DIGEST_CHARS)
@@ -216,6 +249,7 @@ class MeasurementStore:
             match = pattern.match(path.name)
             if match:
                 names.add(match.group(1))
+        names.update(config for config, _key in self._compaction_entries())
         return sorted(names)
 
     # ------------------------------------------------------------------ #
@@ -385,9 +419,194 @@ class MeasurementStore:
         for shard_index, (start, stop) in enumerate(self.shard_ranges(len(dataset))):
             shard_prints = [record.fingerprint for record in dataset.records[start:stop]]
             for name in config_names:
-                if self._load_pair(shard_prints, name) is None:
+                if self._load_pair(shard_prints, name, count_stats=False) is None:
                     missing.append((shard_index, name))
         return missing
+
+    # ------------------------------------------------------------------ #
+    # Compaction (O(files) loose stores → O(open) memory-mapped loads)
+    # ------------------------------------------------------------------ #
+    def compact(
+        self,
+        dataset: NASBenchDataset,
+        configs: Iterable[AcceleratorConfig | str] | None = None,
+        remove_loose: bool = True,
+    ) -> CompactionResult:
+        """Merge a *finished* sweep into one memory-mapped consolidated file.
+
+        A warm million-pair store costs O(files) opens (and npz inflations)
+        before the first query; compaction rewrites it as a single
+        uncompressed ``.npy`` data file — row 0 latency, row 1 energy, pairs
+        concatenated column-wise — plus a JSON index header mapping
+        ``(config name, shard key)`` to its column range and fingerprints.
+        :meth:`load` then serves every pair as a slice of one ``mmap``.
+
+        The sweep must be complete for the requested grid (compaction of a
+        half-drained sweep would freeze the missing pairs out of the fast
+        path); :meth:`extend` afterwards appends new pairs as loose files
+        that the *next* compaction folds in.  Re-compacting reads through
+        the existing compacted file, so it is cheap and idempotent.
+
+        With *remove_loose* (the default) the merged per-pair files — and
+        any superseded earlier compacted generation — are deleted once the
+        new consolidated file is durably in place.
+        """
+        config_names = self._config_names(configs)
+        ranges = self.shard_ranges(len(dataset))
+        entries: list[dict] = []
+        latency_parts: list[np.ndarray] = []
+        energy_parts: list[np.ndarray] = []
+        missing: list[tuple[int, str]] = []
+        offset = 0
+        for shard_index, (start, stop) in enumerate(ranges):
+            prints = [record.fingerprint for record in dataset.records[start:stop]]
+            for name in config_names:
+                pair = self._load_pair(prints, name, count_stats=False)
+                if pair is None:
+                    missing.append((shard_index, name))
+                    continue
+                length = stop - start
+                entries.append(
+                    {
+                        "config": name,
+                        "key": self.shard_key(prints, name),
+                        "offset": offset,
+                        "length": length,
+                        "fingerprints": prints,
+                    }
+                )
+                latency_parts.append(pair[0])
+                energy_parts.append(pair[1])
+                offset += length
+        if missing:
+            shown = ", ".join(f"(shard {i}, {name})" for i, name in missing[:5])
+            raise ServiceError(
+                f"compaction requires a finished sweep; {len(missing)} of "
+                f"{len(ranges) * len(config_names)} (shard, configuration) "
+                f"pairs are missing (e.g. {shown}); run extend() first"
+            )
+        digest = stable_digest(
+            {
+                "kind": "compacted-store",
+                "version": STORE_FORMAT_VERSION,
+                "prefix": self.prefix,
+                "parameter_caching": self.enable_parameter_caching,
+                "pairs": [(entry["config"], entry["key"]) for entry in entries],
+            }
+        )
+        data = np.vstack(
+            [np.concatenate(latency_parts), np.concatenate(energy_parts)]
+        ).astype(float)
+        data_path = self.root / f"{self.prefix}-compact-{digest}.npy"
+        index_path = self.root / f"{self.prefix}-compact-{digest}.json"
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = data_path.with_name(f".{data_path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}")
+        try:
+            with open(tmp, "wb") as handle:
+                np.save(handle, data)
+            tmp.replace(data_path)
+        except OSError as exc:
+            tmp.unlink(missing_ok=True)
+            raise ServiceError(f"failed to write compacted data {data_path}: {exc}") from exc
+        index_payload = {
+            "kind": "compacted-index",
+            "version": STORE_FORMAT_VERSION,
+            "prefix": self.prefix,
+            "parameter_caching": self.enable_parameter_caching,
+            "data": data_path.name,
+            "entries": entries,
+        }
+        tmp_index = index_path.with_name(
+            f".{index_path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        )
+        tmp_index.write_text(json.dumps(index_payload, sort_keys=True))
+        tmp_index.replace(index_path)
+
+        loose_removed = 0
+        if remove_loose:
+            for entry in entries:
+                loose = self.shard_path(entry["config"], entry["key"])
+                try:
+                    loose.unlink()
+                    loose_removed += 1
+                except OSError:
+                    pass
+            for stale in self.root.glob(f"{self.prefix}-compact-*"):
+                if stale.name not in (data_path.name, index_path.name):
+                    stale.unlink(missing_ok=True)
+        self._compact_entries = None
+        self._compact_data = {}
+        return CompactionResult(
+            data_path=data_path,
+            index_path=index_path,
+            pairs=len(entries),
+            rows=int(data.shape[1]),
+            loose_removed=loose_removed,
+        )
+
+    def publish_manifest(self, dataset, configs=None, strategy: str = "fused"):
+        """Persist a :class:`~repro.service.queue.SweepManifest` for this sweep.
+
+        The manifest makes the store directory drainable by independent
+        ``python -m repro.service.worker`` processes (or hosts); see
+        :mod:`repro.service.queue`.  Returns the saved manifest.
+        """
+        from .queue import SweepManifest  # deferred: queue imports our helpers
+
+        config_list = self._config_objects(configs)
+        manifest = SweepManifest.build(
+            dataset,
+            config_list,
+            shard_size=self.shard_size,
+            enable_parameter_caching=self.enable_parameter_caching,
+            prefix=self.prefix,
+            strategy=strategy,
+        )
+        self.root.mkdir(parents=True, exist_ok=True)
+        manifest.save(self.root)
+        return manifest
+
+    def _compaction_entries(self) -> dict[tuple[str, str], tuple[Path, int, int, list[str]]]:
+        """Lazy map of (config, key) → compacted location, from index files."""
+        if self._compact_entries is None:
+            entries: dict[tuple[str, str], tuple[Path, int, int, list[str]]] = {}
+            if self.root.is_dir():
+                for index_path in sorted(self.root.glob(f"{self.prefix}-compact-*.json")):
+                    try:
+                        payload = json.loads(index_path.read_text())
+                    except (OSError, json.JSONDecodeError):
+                        continue
+                    if (
+                        payload.get("kind") != "compacted-index"
+                        or payload.get("version") != STORE_FORMAT_VERSION
+                        or payload.get("parameter_caching") != self.enable_parameter_caching
+                    ):
+                        continue
+                    data_path = self.root / payload.get("data", "")
+                    if not data_path.exists():
+                        continue
+                    for entry in payload.get("entries", []):
+                        entries[(entry["config"], entry["key"])] = (
+                            data_path,
+                            int(entry["offset"]),
+                            int(entry["length"]),
+                            list(entry["fingerprints"]),
+                        )
+            self._compact_entries = entries
+        return self._compact_entries
+
+    def _compacted_array(self, data_path: Path) -> np.ndarray | None:
+        """The memory-mapped ``(2, rows)`` data array of one compacted file."""
+        array = self._compact_data.get(data_path)
+        if array is None:
+            try:
+                array = np.load(data_path, mmap_mode="r", allow_pickle=False)
+            except (OSError, ValueError):
+                return None
+            if array.ndim != 2 or array.shape[0] != 2:
+                return None
+            self._compact_data[data_path] = array
+        return array
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -435,7 +654,7 @@ class MeasurementStore:
         ) as pool:
             futures = {
                 pool.submit(
-                    _sweep_shard,
+                    simulate_shard,
                     cells[ranges[shard_index][0] : ranges[shard_index][1]],
                     dataset.network_config,
                     tuple(missing),
@@ -457,10 +676,28 @@ class MeasurementStore:
                         progress_callback(name, done[name], total)
 
     def _load_pair(
-        self, fingerprints: Sequence[str], config_name: str
+        self, fingerprints: Sequence[str], config_name: str, count_stats: bool = True
     ) -> tuple[np.ndarray, np.ndarray] | None:
-        """Load one verified (shard, configuration) pair, or ``None``."""
+        """Load one verified (shard, configuration) pair, or ``None``.
+
+        Prefers the compacted consolidated file (one mmap slice, no file
+        open) and falls back to the loose per-pair npz; *count_stats*
+        suppresses the ``pairs_compacted`` bookkeeping for pure queries.
+        """
         key = self.shard_key(fingerprints, config_name)
+        compacted = self._compaction_entries().get((config_name, key))
+        if compacted is not None:
+            data_path, offset, length, stored_prints = compacted
+            if length == len(fingerprints) and list(fingerprints) == stored_prints:
+                array = self._compacted_array(data_path)
+                if array is not None and offset + length <= array.shape[1]:
+                    rows = array[:, offset : offset + length]
+                    if count_stats:
+                        self.stats.pairs_compacted += 1
+                    return (
+                        np.array(rows[0], dtype=float),
+                        np.array(rows[1], dtype=float),
+                    )
         stored = read_npz(self.shard_path(config_name, key))
         if stored is None:
             return None

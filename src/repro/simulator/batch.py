@@ -279,7 +279,7 @@ class BatchSimulator:
         with ProcessPoolExecutor(max_workers=len(shards)) as pool:
             futures = {
                 pool.submit(
-                    _sweep_shard,
+                    simulate_shard,
                     [cells[i] for i in chunk],
                     dataset.network_config,
                     tuple(config_list),
@@ -301,14 +301,22 @@ class BatchSimulator:
         return latencies, energies
 
 
-def _sweep_shard(
+def simulate_shard(
     cells: list[Cell],
     network_config: NetworkConfig,
     configs: tuple[AcceleratorConfig, ...],
     enable_parameter_caching: bool,
     strategy: str = "fused",
 ) -> dict[str, tuple[np.ndarray, np.ndarray]]:
-    """Worker: build and evaluate one model-range shard (all configurations)."""
+    """Build and evaluate one model-range shard on every configuration.
+
+    The shared shard kernel of every sweep executor: the in-process pool
+    workers of :meth:`BatchSimulator.evaluate`, the store's parallel
+    :meth:`~repro.service.store.MeasurementStore.extend`, and the
+    distributed :class:`~repro.service.worker.SweepWorker` all route one
+    claimed shard through this function, so a shard simulates to identical
+    bytes no matter which executor ran it.
+    """
     networks = [build_network(cell, network_config) for cell in cells]
     table = LayerTable.from_networks(networks)
     simulator = BatchSimulator(
@@ -316,3 +324,7 @@ def _sweep_shard(
     )
     latency, energy = simulator.evaluate_table_grid(table, configs)
     return {config.name: (latency[index], energy[index]) for index, config in enumerate(configs)}
+
+
+#: Backwards-compatible private alias (pre-distributed-sweep name).
+_sweep_shard = simulate_shard

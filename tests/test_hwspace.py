@@ -7,7 +7,7 @@ import pytest
 
 from repro.analysis import ParetoArchive
 from repro.arch import EDGE_TPU_V1, EDGE_TPU_V2, MIB
-from repro.errors import InvalidConfigError, SearchError
+from repro.errors import InvalidConfigError, PipelineError, SearchError
 from repro.hwspace import (
     AcceleratorSpace,
     CoSearchEngine,
@@ -213,6 +213,23 @@ class TestHardwareSweepPipeline:
             population=experiment.population,
         )
         assert renamed.sweep_key() == experiment.sweep_key()
+
+    def test_compacted_sweep_replays_identically(self, tmp_path):
+        experiment = HardwareSweepExperiment(
+            name="smoke",
+            space=AcceleratorSpace({"clock_mhz": [800.0, 1066.0], "pes_x": [2, 4]}),
+            population=PopulationSpec(num_models=20, seed=2),
+        )
+        cold = run_hardware_sweep(experiment, cache_dir=tmp_path, compact=True)
+        assert list(tmp_path.glob("hwsweep-*-compact-*.npy"))
+        assert not list(tmp_path.glob("hwsweep-*.npz"))
+        warm = run_hardware_sweep(experiment, cache_dir=tmp_path)
+        assert warm.replayed
+        assert warm.store_stats.pairs_compacted == warm.store_stats.pairs_loaded > 0
+        for cold_point, warm_point in zip(cold.points, warm.points):
+            assert cold_point == warm_point
+        with pytest.raises(PipelineError, match="cache_dir"):
+            run_hardware_sweep(experiment, compact=True)
 
 
 class TestCoSearch:

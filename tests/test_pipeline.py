@@ -126,6 +126,21 @@ class TestRunExperiment:
         assert result.cache_stats == CacheStats()
         assert list(tmp_path.iterdir()) == []
 
+    def test_compact_merges_the_labeling_sweep(self, pipeline_cache_dir):
+        experiment = small_experiment()
+        cold = run_experiment(experiment, cache_dir=pipeline_cache_dir, compact=True)
+        assert list(pipeline_cache_dir.rglob("*-compact-*.npy"))
+        assert not list(pipeline_cache_dir.rglob("measurements-*-V1-*.npz"))
+        warm = run_experiment(experiment, cache_dir=pipeline_cache_dir, compact=True)
+        assert warm.cache_stats.measurement_hits == 1
+        assert np.array_equal(
+            warm.measurements.latencies("V1"), cold.measurements.latencies("V1")
+        )
+
+    def test_compact_without_cache_dir_rejected(self):
+        with pytest.raises(PipelineError, match="cache_dir"):
+            run_experiment(small_experiment(), compact=True)
+
 
 class TestExperimentCache:
     def test_mismatched_population_is_a_miss(self, pipeline_cache_dir, measurements):

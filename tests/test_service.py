@@ -161,6 +161,23 @@ class TestMeasurementStore:
         assert store.stats.pairs_simulated == 1
         assert store.stats.pairs_loaded == 3
 
+    def test_corrupt_shard_is_quarantined_not_reread(self, tmp_path, store_dataset):
+        # Regression: a truncated npz used to stay at its final name, so every
+        # reader re-parsed (and re-failed on) the same broken bytes.  read_npz
+        # must move it aside so the miss is durable and the rewrite is clean.
+        make_store(tmp_path).sweep(store_dataset, configs=("V1",))
+        victim = sorted(tmp_path.glob("shard-V1-*.npz"))[0]
+        victim.write_bytes(victim.read_bytes()[:40])
+        store = make_store(tmp_path)
+        store.sweep(store_dataset, configs=("V1",))
+        quarantined = victim.with_name(victim.name + ".corrupt")
+        assert quarantined.exists()
+        assert len(quarantined.read_bytes()) == 40  # the broken bytes, moved aside
+        assert victim.exists()  # re-simulated and re-published at the real name
+        clean = make_store(tmp_path)
+        clean.sweep(store_dataset, configs=("V1",))
+        assert clean.stats.pairs_simulated == 0
+
     def test_parameter_caching_mode_is_part_of_the_key(self, tmp_path, store_dataset):
         make_store(tmp_path).sweep(store_dataset, configs=("V1",))
         other_mode = make_store(tmp_path, enable_parameter_caching=False)
@@ -192,6 +209,99 @@ class TestMeasurementStore:
         measurements = evaluate_dataset(store_dataset, store=store)
         assert store.stats.pairs_simulated == 4 * len(CONFIGS)
         assert_matches_reference(measurements, direct_measurements)
+
+
+class TestCompaction:
+    def warm_store(self, root, dataset, configs=CONFIGS):
+        make_store(root).sweep(dataset, configs=configs)
+        return make_store(root)
+
+    def test_compact_produces_one_mmapped_file(self, tmp_path, store_dataset):
+        store = self.warm_store(tmp_path, store_dataset)
+        result = store.compact(store_dataset, configs=CONFIGS)
+        assert result.pairs == 4 * len(CONFIGS)
+        assert result.rows == len(store_dataset) * len(CONFIGS)
+        assert result.loose_removed == 4 * len(CONFIGS)
+        assert result.data_path.exists() and result.index_path.exists()
+        assert not list(tmp_path.glob("shard-V*-*.npz"))  # loose files merged away
+        data = np.load(result.data_path, mmap_mode="r")
+        assert data.shape == (2, result.rows)
+
+    def test_compacted_load_is_byte_identical(self, tmp_path, store_dataset, direct_measurements):
+        store = self.warm_store(tmp_path, store_dataset)
+        loose = store.load(store_dataset, configs=CONFIGS)
+        store.compact(store_dataset, configs=CONFIGS)
+        compacted_store = make_store(tmp_path)
+        compacted = compacted_store.load(store_dataset, configs=CONFIGS)
+        for name in CONFIGS:
+            np.testing.assert_array_equal(compacted.latencies(name), loose.latencies(name))
+            np.testing.assert_array_equal(compacted.energies(name), loose.energies(name))
+            # V3 energies are NaN throughout; array_equal treats aligned NaNs
+            # as equal, so the no-energy-model marker survives compaction.
+            np.testing.assert_array_equal(
+                compacted.latencies(name), direct_measurements.latencies(name)
+            )
+        stats = compacted_store.stats
+        assert stats.pairs_loaded == 4 * len(CONFIGS)
+        assert stats.pairs_compacted == 4 * len(CONFIGS)  # every pair via the mmap
+        assert stats.pairs_simulated == 0
+
+    def test_compact_refuses_an_unfinished_sweep(self, tmp_path, store_dataset):
+        store = self.warm_store(tmp_path, store_dataset, configs=("V1",))
+        with pytest.raises(ServiceError, match="finished sweep"):
+            store.compact(store_dataset, configs=CONFIGS)
+
+    def test_extend_after_compaction_appends_loose_files(
+        self, tmp_path, store_dataset, direct_measurements
+    ):
+        store = self.warm_store(tmp_path, store_dataset, configs=("V1", "V2"))
+        store.compact(store_dataset, configs=("V1", "V2"))
+        grown = make_store(tmp_path)
+        measurements = grown.extend(store_dataset, configs=CONFIGS)
+        assert grown.stats.pairs_compacted == 8  # V1/V2 from the mmap
+        assert grown.stats.pairs_simulated == 4  # V3 simulated fresh
+        assert sorted(path.name for path in tmp_path.glob("shard-*.npz")) == sorted(
+            path.name for path in tmp_path.glob("shard-V3-*.npz")
+        )
+        assert_matches_reference(measurements, direct_measurements)
+
+    def test_recompaction_folds_loose_files_in(self, tmp_path, store_dataset):
+        store = self.warm_store(tmp_path, store_dataset, configs=("V1", "V2"))
+        first = store.compact(store_dataset, configs=("V1", "V2"))
+        grown = make_store(tmp_path)
+        grown.extend(store_dataset, configs=CONFIGS)
+        second = grown.compact(store_dataset, configs=CONFIGS)
+        assert second.pairs == 4 * len(CONFIGS)
+        assert not first.data_path.exists()  # superseded generation removed
+        assert not list(tmp_path.glob("shard-V*-*.npz"))
+        assert sorted(tmp_path.glob("shard-compact-*.npy")) == [second.data_path]
+        final = make_store(tmp_path)
+        final.load(store_dataset, configs=CONFIGS)
+        assert final.stats.pairs_compacted == 4 * len(CONFIGS)
+
+    def test_fully_compacted_store_reports_its_configs(self, tmp_path, store_dataset):
+        store = self.warm_store(tmp_path, store_dataset)
+        store.compact(store_dataset, configs=CONFIGS)
+        assert make_store(tmp_path).available_configs() == sorted(CONFIGS)
+        missing = make_store(tmp_path).missing_pairs(store_dataset, configs=CONFIGS)
+        assert missing == []
+
+    def test_parameter_caching_mode_isolates_compacted_files(self, tmp_path, store_dataset):
+        store = self.warm_store(tmp_path, store_dataset, configs=("V1",))
+        store.compact(store_dataset, configs=("V1",))
+        other_mode = make_store(tmp_path, enable_parameter_caching=False)
+        assert other_mode.missing_pairs(store_dataset, configs=("V1",)) != []
+
+    def test_compacted_rows_are_copies_not_mmap_views(self, tmp_path, store_dataset):
+        # Callers mutate measurement arrays (analysis normalizes in place);
+        # handing out read-only mmap slices would crash them.
+        store = self.warm_store(tmp_path, store_dataset, configs=("V1",))
+        store.compact(store_dataset, configs=("V1",))
+        loaded = make_store(tmp_path).load(store_dataset, configs=("V1",))
+        latencies = loaded.latencies("V1")
+        latencies[0] = -1.0  # must not raise (and must not touch the file)
+        again = make_store(tmp_path).load(store_dataset, configs=("V1",))
+        assert again.latencies("V1")[0] != -1.0
 
 
 class TestSweepService:
