@@ -1,0 +1,140 @@
+"""Fused-grid throughput across macro shapes at a fixed layer-row budget.
+
+Macro specs change the *shape* of the workload without changing the fused
+kernel: a population of deep narrow networks and one of shallow wide
+networks flatten into the same kind of ``LayerTable``, so the (config, layer)
+grid sweep should price a layer row roughly the same no matter which macro
+schedule produced it.  This benchmark pins that property: each macro shape
+gets a population sized to the same total layer-row budget, and the tracked
+headlines are the per-shape row rates *relative to the single-cell baseline
+shape* — machine-independent ratios that regress only if the staged
+expansion makes rows structurally slower to sweep.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.arch import get_config
+from repro.nasbench import LayerTable, MacroSpec, StageSpec, random_cell
+from repro.simulator import BatchSimulator
+
+from _reporting import report, report_json
+
+#: Target layer rows per macro shape (every shape sweeps the same row budget).
+MACRO_ROWS = int(os.environ.get("REPRO_BENCH_MACRO_ROWS", "20000"))
+#: Seed of the sampled per-stage cells.
+MACRO_SEED = int(os.environ.get("REPRO_BENCH_MACRO_SEED", "2022"))
+#: Timing rounds per shape (best-of).
+MACRO_ROUNDS = int(os.environ.get("REPRO_BENCH_MACRO_ROUNDS", "3"))
+
+#: The compared macro shapes: (name, per-stage (depth, width_multiplier)).
+#: ``single`` is the legacy-equivalent one-stage baseline every ratio is
+#: taken against; the others stretch the depth and width axes.
+SHAPES: tuple[tuple[str, tuple[tuple[int, float], ...]], ...] = (
+    ("single", ((1, 1.0),)),
+    ("deep", ((4, 1.0), (4, 1.0), (4, 1.0))),
+    ("wide", ((1, 2.0), (1, 2.0))),
+    ("staged", ((2, 1.0), (2, 2.0), (2, 2.0))),
+)
+
+CONFIG_NAMES = ("V1", "V2")
+
+
+def _population_table(shape: tuple[tuple[int, float], ...], rng) -> tuple[LayerTable, int]:
+    """Macro networks of one shape, appended until the row budget is met."""
+    networks = []
+    rows = 0
+    while rows < MACRO_ROWS:
+        macro = MacroSpec(
+            tuple(
+                StageSpec(random_cell(rng), depth=depth, width_multiplier=multiplier)
+                for depth, multiplier in shape
+            )
+        )
+        network = macro.build_network()
+        networks.append(network)
+        rows += len(network.layers)
+    return LayerTable.from_networks(networks), len(networks)
+
+
+def _row_rate(simulator: BatchSimulator, table: LayerTable, configs) -> tuple[float, float]:
+    """Best-of rows/sec of the fused grid sweep over *configs*."""
+    best = float("inf")
+    for _ in range(MACRO_ROUNDS):
+        start = time.perf_counter()
+        simulator.evaluate_table_grid(table, configs)
+        best = min(best, time.perf_counter() - start)
+    return table.num_layers / best, best
+
+
+def test_macro_sweep_throughput(benchmark):
+    rng = np.random.default_rng(MACRO_SEED)
+    configs = [get_config(name) for name in CONFIG_NAMES]
+    simulator = BatchSimulator()
+
+    tables = {name: _population_table(shape, rng) for name, shape in SHAPES}
+    rates = {}
+    elapsed = {}
+    for name, (table, _) in tables.items():
+        rates[name], elapsed[name] = _row_rate(simulator, table, configs)
+
+    # Tracked pytest-benchmark metric: the staged (multi-stage, mixed-width)
+    # shape, the one the macro search actually sweeps.
+    staged_table = tables["staged"][0]
+    benchmark.pedantic(
+        lambda: simulator.evaluate_table_grid(staged_table, configs),
+        rounds=1,
+        iterations=1,
+    )
+
+    for name, (table, models) in tables.items():
+        benchmark.extra_info[f"{name}_rows_per_sec"] = round(rates[name], 1)
+        benchmark.extra_info[f"{name}_models"] = models
+        benchmark.extra_info[f"{name}_rows"] = table.num_layers
+
+    lines = [
+        "Macro sweep throughput — fused (config, layer) grid rows/sec per shape",
+        f"(~{MACRO_ROWS} layer rows per shape, {len(CONFIG_NAMES)} configurations, "
+        f"seed {MACRO_SEED}, best of {MACRO_ROUNDS})",
+        f"{'shape':<10}{'models':>8}{'rows':>8}{'rows/sec':>12}"
+        f"{'elapsed (s)':>13}{'vs single':>11}",
+    ]
+    for name, (table, models) in tables.items():
+        lines.append(
+            f"{name:<10}{models:>8}{table.num_layers:>8}{rates[name]:>12.0f}"
+            f"{elapsed[name]:>13.4f}{rates[name] / rates['single']:>11.2f}"
+        )
+    report("macro_sweep", lines)
+    report_json(
+        "macro_sweep",
+        # Ratios only: a shape's row rate relative to the single-cell
+        # baseline cancels the machine out and regresses only if staged
+        # expansions become structurally slower to sweep.
+        headline={
+            f"{name}_row_rate_vs_single": rates[name] / rates["single"]
+            for name, _ in SHAPES
+            if name != "single"
+        },
+        population={
+            "row_budget": MACRO_ROWS,
+            "configs": len(CONFIG_NAMES),
+            "shapes": len(SHAPES),
+        },
+        metrics={
+            **{f"{name}_rows_per_sec": rates[name] for name, _ in SHAPES},
+            **{f"{name}_models": tables[name][1] for name, _ in SHAPES},
+            **{f"{name}_rows": tables[name][0].num_layers for name, _ in SHAPES},
+        },
+    )
+
+    # The fused kernel prices rows, not models: no macro shape may sweep its
+    # rows at less than a third of the single-cell rate.
+    for name, _ in SHAPES:
+        assert rates[name] >= rates["single"] / 3.0, (
+            f"shape {name!r} sweeps rows {rates['single'] / rates[name]:.1f}x "
+            "slower than the single-cell baseline"
+        )

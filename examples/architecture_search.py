@@ -73,7 +73,45 @@ def main() -> None:
             f"acc={entry.accuracy:.4f}  (gen {entry.generation})"
         )
     print(f"\narchive persisted at {outcomes['evolution'].archive_path}")
-    print(f"rerun this script to replay from {CACHE_DIR!r}")
+
+    # Same evolution loop, one level up: candidates are whole staged
+    # backbones (a distinct cell per stage plus per-stage depth and width
+    # multipliers) instead of a single cell repeated through the fixed
+    # template.  Only the spec changes — caching, resume and the archive
+    # all work identically.
+    macro_outcome = run_search_experiment(
+        SearchExperiment(
+            name="example-macro-evolution",
+            spec=SearchSpec(
+                strategy="evolution",
+                arch_space="macro",
+                config_name="V1",
+                metric="latency",
+                min_accuracy=0.92,
+                population_size=16,
+                generations=6,
+                seed=7,
+            ),
+        ),
+        cache_dir=CACHE_DIR,
+    )
+    macro_result = macro_outcome.result
+    macro_mode = "replayed from cache" if macro_outcome.replayed else "simulated"
+    print(
+        f"\nmacro evolution best {macro_result.best_objective:.4f} ms at "
+        f"{macro_result.best_accuracy:.4f} accuracy "
+        f"({macro_result.num_evaluated} backbones, {macro_mode}, "
+        f"{macro_outcome.elapsed_seconds:.2f}s)"
+    )
+    winner = macro_result.best_record.architecture
+    print(
+        f"winning backbone: {len(winner.stages)} stages, depths "
+        + "/".join(str(stage.depth) for stage in winner.stages)
+        + ", widths "
+        + "/".join(f"{stage.width_multiplier:g}x" for stage in winner.stages)
+    )
+
+    print(f"\nrerun this script to replay from {CACHE_DIR!r}")
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..errors import DatasetError
 from ..nasbench.cell import Cell
+from ..nasbench.macro import MacroSpec, architecture_from_dict, architecture_to_dict
 from .pareto import pareto_front_mask
 
 #: Bump to invalidate persisted archives when the on-disk format changes.
@@ -32,9 +33,14 @@ ARCHIVE_FORMAT_VERSION = 1
 
 @dataclass(frozen=True)
 class ArchiveEntry:
-    """One non-dominated point of the archive."""
+    """One non-dominated point of the archive.
 
-    cell: Cell
+    ``cell`` holds the archived architecture — a :class:`Cell` or a
+    :class:`~repro.nasbench.macro.MacroSpec`; both expose ``fingerprint``
+    and ``to_dict``, which is all the archive needs.
+    """
+
+    cell: Cell | MacroSpec
     fingerprint: str
     cost: float
     accuracy: float
@@ -220,7 +226,9 @@ class ParetoArchive:
             costs=np.array([entry.cost for entry in entries]),
             accuracies=np.array([entry.accuracy for entry in entries]),
             generations=np.array([entry.generation for entry in entries], dtype=np.int64),
-            cells=np.array([json.dumps(entry.cell.to_dict()) for entry in entries]),
+            cells=np.array(
+                [json.dumps(architecture_to_dict(entry.cell)) for entry in entries]
+            ),
             hypervolume_history=np.array(self.hypervolume_history, dtype=float),
         )
         return path
@@ -248,7 +256,7 @@ class ParetoArchive:
                     stored["accuracies"],
                     stored["generations"],
                 ):
-                    cell = Cell.from_dict(json.loads(str(payload)))
+                    cell = architecture_from_dict(json.loads(str(payload)))
                     archive._entries[str(fingerprint)] = ArchiveEntry(
                         cell=cell,
                         fingerprint=str(fingerprint),

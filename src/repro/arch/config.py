@@ -23,6 +23,16 @@ KIB = 1024
 MIB = 1024 * 1024
 
 
+def scaled_bytes(byte_counts, bits):
+    """``ceil(bytes * bits / 8)``: rescale canonical int8 byte footprints.
+
+    Pure integer arithmetic (no float round-trip), elementwise over arrays and
+    exact under broadcasting, so the scalar and ``(C, L)`` table kernels agree
+    bit for bit.  At 8 bits this is the identity.
+    """
+    return -(-(byte_counts * bits) // 8)
+
+
 @dataclass(frozen=True)
 class AcceleratorConfig:
     """Microarchitectural description of one Edge TPU accelerator class.
@@ -53,6 +63,17 @@ class AcceleratorConfig:
     #: Fixed per-layer overhead (descriptor dispatch, weight-staging setup,
     #: pipeline fill/drain), in accelerator cycles.
     layer_overhead_cycles: int = 300
+    #: Images processed per batched inference.  Batching multiplies compute
+    #: and activation traffic while weight fetch (DRAM streaming and cache
+    #: refill) is paid once per batch, so larger batches amortize it.
+    batch_size: int = 1
+    #: Storage width of weights in bits.  Weight footprints (cache pressure,
+    #: streamed DRAM traffic, SRAM staging) scale as ``ceil(bytes * bits / 8)``
+    #: from the canonical int8 layer footprints.
+    weight_bits: int = 8
+    #: Storage width of activations in bits; scales activation footprints
+    #: (spill working sets, model I/O, SRAM activation traffic) the same way.
+    activation_bits: int = 8
 
     def __post_init__(self) -> None:
         if self.clock_mhz <= 0:
@@ -67,6 +88,12 @@ class AcceleratorConfig:
             raise InvalidConfigError(f"{self.name}: I/O bandwidth must be positive")
         if not 0.0 <= self.pe_memory_cache_fraction <= 1.0:
             raise InvalidConfigError(f"{self.name}: pe_memory_cache_fraction must be within [0, 1]")
+        if self.batch_size < 1:
+            raise InvalidConfigError(f"{self.name}: batch_size must be at least 1")
+        for field_name in ("weight_bits", "activation_bits"):
+            bits = getattr(self, field_name)
+            if not 1 <= bits <= 32:
+                raise InvalidConfigError(f"{self.name}: {field_name} must be within [1, 32]")
 
     # ------------------------------------------------------------------ #
     # Derived compute quantities

@@ -39,6 +39,9 @@ _INT_FIELDS = (
     "activation_memory_entries",
     "inference_overhead_cycles",
     "layer_overhead_cycles",
+    "batch_size",
+    "weight_bits",
+    "activation_bits",
 )
 
 #: AcceleratorConfig fields stored as float64 columns.

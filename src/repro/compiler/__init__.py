@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from ..arch.config import AcceleratorConfig
+from ..arch.config import AcceleratorConfig, scaled_bytes
 from ..arch.config_table import ConfigTable
 from ..nasbench.layer_table import LayerTable
 from ..nasbench.network import NetworkSpec
@@ -55,9 +55,8 @@ def _grid_cache(
 ) -> CacheTable:
     """Plan the grid's parameter caches, factorized like :func:`_grid_mapping`.
 
-    Only the capacity formula reads the configuration
+    Only the capacity and bit-width formulas read the configuration
     (:data:`CACHE_CONFIG_FIELDS`), so a lane or clock axis re-plans nothing.
-    ``total_weight_bytes`` stays config-independent (no leading axis).
     """
     unique, inverse = configs.factor(CACHE_CONFIG_FIELDS)
     cache = plan_cache_table(table, unique, enable_caching=enable_caching)
@@ -66,7 +65,7 @@ def _grid_cache(
     return CacheTable(
         capacity_bytes=cache.capacity_bytes[inverse],
         effective_capacity_bytes=cache.effective_capacity_bytes[inverse],
-        total_weight_bytes=cache.total_weight_bytes,
+        total_weight_bytes=cache.total_weight_bytes[inverse],
         cached_bytes=cache.cached_bytes[inverse],
         cached_mask=cache.cached_mask[inverse],
         streamed_bytes=cache.streamed_bytes[inverse],
@@ -122,7 +121,7 @@ def compile_model(
     compiled_layers = []
     for index, layer in enumerate(layers):
         streamed = cache_plan.streamed_bytes_by_layer.get(layer.name, 0)
-        cached = layer.weight_bytes - streamed
+        cached = scaled_bytes(layer.weight_bytes, config.weight_bits) - streamed
         compiled_layers.append(
             CompiledLayer(
                 spec=layer,

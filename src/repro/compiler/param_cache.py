@@ -39,7 +39,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..arch.config import AcceleratorConfig
+from ..arch.config import AcceleratorConfig, scaled_bytes
 from ..arch.config_table import ConfigTable
 from ..arch.memory import MemoryBudget, parameter_cache_bytes, parameter_cache_capacity
 from ..nasbench.layer_table import LayerTable
@@ -57,6 +57,8 @@ CACHE_CONFIG_FIELDS: tuple[str, ...] = (
     "pe_memory_bytes",
     "core_memory_bytes",
     "pe_memory_cache_fraction",
+    "weight_bits",
+    "activation_bits",
 )
 
 
@@ -210,16 +212,22 @@ def plan_cache_table(
     shape ``(num_configs, num_models)``, per-layer arrays of shape
     ``(num_configs, num_layers)``).
     """
-    weights = table.weight_bytes
     starts = table.segment_starts
-    total_weight = np.add.reduceat(weights, starts)
+    # Stored footprints at the configured bit-widths: (num_layers,) against a
+    # scalar config, (num_configs, num_layers) against a ConfigTable whose
+    # rows disagree on the bit-width fields.
+    weights = scaled_bytes(table.weight_bytes, config.weight_bits)
+    total_weight = np.add.reduceat(weights, starts, axis=-1)
 
-    activation = table.input_activation_bytes + table.output_activation_bytes
-    max_activation = np.maximum.reduceat(activation, starts)
+    activation = scaled_bytes(
+        table.input_activation_bytes + table.output_activation_bytes,
+        config.activation_bits,
+    )
+    max_activation = np.maximum.reduceat(activation, starts, axis=-1)
     capacity = parameter_cache_bytes(config, max_activation)
 
     if not enable_caching:
-        mask_shape = capacity.shape[:-1] + (len(weights),)
+        mask_shape = capacity.shape[:-1] + (len(table),)
         return CacheTable(
             capacity_bytes=capacity,
             effective_capacity_bytes=np.zeros_like(capacity),
@@ -230,7 +238,22 @@ def plan_cache_table(
         )
 
     effective = effective_cache_capacity_array(total_weight, capacity)
-    cached_mask = greedy_cache_assign(weights, table.model_offsets, effective)
+    if weights.ndim == 1:
+        cached_mask = greedy_cache_assign(weights, table.model_offsets, effective)
+    else:
+        # The greedy scan shares one sort order across its batch axis, which
+        # only holds while every row sees the same per-layer weights.  Rows
+        # with different weight_bits see different (scaled) weights — and the
+        # selection must match the scalar oracle's sort of *scaled* weights
+        # exactly, ties included — so the scan runs once per distinct width.
+        wb_rows = np.asarray(config.weight_bits).reshape(-1)
+        cached_mask = np.zeros(effective.shape[:-1] + (len(table),), dtype=bool)
+        for bits in np.unique(wb_rows):
+            rows = np.flatnonzero(wb_rows == bits)
+            group_weights = scaled_bytes(table.weight_bytes, int(bits))
+            cached_mask[rows] = greedy_cache_assign(
+                group_weights, table.model_offsets, effective[rows]
+            )
     cached_weights = np.where(cached_mask, weights, 0)
     return CacheTable(
         capacity_bytes=capacity,
@@ -268,11 +291,25 @@ def plan_parameter_cache(
         and the largest activation working set of *layers*).
     """
     weighted = [layer for layer in layers if layer.weight_bytes > 0]
-    total_weight_bytes = sum(layer.weight_bytes for layer in weighted)
+    # All cache arithmetic runs on *stored* footprints at the configured
+    # bit-widths; at the 8-bit default these equal the canonical footprints.
+    stored = {
+        layer.name: int(scaled_bytes(layer.weight_bytes, config.weight_bits))
+        for layer in weighted
+    }
+    total_weight_bytes = sum(stored.values())
 
     if budget is None:
         max_activation = max(
-            (layer.input_activation_bytes + layer.output_activation_bytes for layer in layers),
+            (
+                int(
+                    scaled_bytes(
+                        layer.input_activation_bytes + layer.output_activation_bytes,
+                        config.activation_bits,
+                    )
+                )
+                for layer in layers
+            ),
             default=0,
         )
         budget = parameter_cache_capacity(config, max_activation)
@@ -285,11 +322,11 @@ def plan_parameter_cache(
             total_weight_bytes=total_weight_bytes,
             cached_bytes=0,
             cached_layers=frozenset(),
-            streamed_bytes_by_layer={layer.name: layer.weight_bytes for layer in weighted},
+            streamed_bytes_by_layer={layer.name: stored[layer.name] for layer in weighted},
         )
 
     effective = effective_cache_capacity(total_weight_bytes, capacity)
-    weights = np.array([layer.weight_bytes for layer in weighted], dtype=np.int64)
+    weights = np.array([stored[layer.name] for layer in weighted], dtype=np.int64)
     cached_mask = greedy_cache_assign(
         weights,
         np.array([0, weights.size], dtype=np.int64),
@@ -298,7 +335,7 @@ def plan_parameter_cache(
 
     cached_layers = {layer.name for layer, cached in zip(weighted, cached_mask) if cached}
     streamed = {
-        layer.name: 0 if cached else layer.weight_bytes
+        layer.name: 0 if cached else stored[layer.name]
         for layer, cached in zip(weighted, cached_mask)
     }
     return CachePlan(

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..arch.config import AcceleratorConfig
+from ..arch.config import AcceleratorConfig, scaled_bytes
 from ..arch.config_table import ConfigTable
 from ..nasbench.layer_table import LayerTable
 from ..nasbench.network import LayerSpec, NetworkSpec
@@ -102,8 +102,10 @@ class CompiledTable:
 
     @property
     def cached_weight_bytes(self) -> np.ndarray:
-        """Per-layer weight bytes resident on-chip across inferences."""
-        return self.table.weight_bytes - self.cache.streamed_bytes
+        """Per-layer stored weight bytes resident on-chip across inferences."""
+        return scaled_bytes(self.table.weight_bytes, self.config.weight_bits) - (
+            self.cache.streamed_bytes
+        )
 
     @property
     def total_compute_cycles(self) -> np.ndarray:

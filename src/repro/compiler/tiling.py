@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..arch.config import AcceleratorConfig
+from ..arch.config import AcceleratorConfig, scaled_bytes
 from ..arch.config_table import ConfigTable
 from ..errors import CompilationError
 from ..nasbench.layer_table import (
@@ -49,6 +49,7 @@ MAPPING_CONFIG_FIELDS: tuple[str, ...] = (
     "compute_lanes",
     "macs_per_lane",
     "core_memory_bytes",
+    "weight_bits",
 )
 
 
@@ -197,9 +198,10 @@ def map_layer_table(
     compute_cycles = np.where(is_mac, mac_cycles, vector_cycles)
     issued_macs = compute_cycles * config.macs_per_cycle
     utilization = np.where(is_mac, np.minimum(table.macs / np.maximum(issued_macs, 1), 1.0), 0.0)
+    stored_weight_bytes = scaled_bytes(table.weight_bytes, config.weight_bits)
     weight_passes = np.where(
         table.weight_bytes > 0,
-        ceil_div(table.weight_bytes, config.total_core_memory_bytes),
+        ceil_div(stored_weight_bytes, config.total_core_memory_bytes),
         0,
     )
     return MappingTable(

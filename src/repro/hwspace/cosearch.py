@@ -37,13 +37,15 @@ from ..errors import DatasetError, SearchError
 from ..nasbench.accuracy import SurrogateAccuracyModel
 from ..nasbench.cell import Cell
 from ..nasbench.generator import random_cell
+from ..nasbench.graph_metrics import compute_metrics
 from ..nasbench.layer_table import LayerTable
-from ..nasbench.mutation import mutate_unique
-from ..nasbench.network import NetworkConfig, build_network
+from ..nasbench.macro import MacroSpec, expand_architecture, random_macro
+from ..nasbench.mutation import mutate_macro_unique, mutate_unique
+from ..nasbench.network import NetworkConfig
 from ..nasbench.ops import MAX_EDGES, MAX_VERTICES
 from ..search.engine import SearchEngine, oracle_accuracy, selection_scores
 from ..search.result import GenerationStats
-from ..search.spec import SearchSpec
+from ..search.spec import ARCH_SPACES, SearchSpec
 from ..simulator.batch import BatchSimulator
 from .space import AcceleratorSpace, config_digest
 
@@ -71,10 +73,18 @@ class CoSearchSpec:
     max_vertices: int = MAX_VERTICES
     max_edges: int = MAX_EDGES
     enable_parameter_caching: bool = True
+    #: ``"cell"`` moves over cells on the shared backbone; ``"macro"`` moves
+    #: over staged :class:`~repro.nasbench.macro.MacroSpec` architectures.
+    arch_space: str = "cell"
 
     def __post_init__(self) -> None:
         if self.metric not in ("latency", "energy"):
             raise SearchError(f"unknown metric {self.metric!r}; expected 'latency' or 'energy'")
+        if self.arch_space not in ARCH_SPACES:
+            raise SearchError(
+                f"unknown architecture space {self.arch_space!r}; "
+                f"expected one of {ARCH_SPACES}"
+            )
         if self.population_size < 2:
             raise SearchError("population_size must be at least 2")
         if self.generations < 1:
@@ -97,10 +107,14 @@ class CoSearchSpec:
 
 @dataclass(frozen=True)
 class PairRecord:
-    """One evaluated (cell, configuration) pair of the co-search history."""
+    """One evaluated (architecture, configuration) pair of the co-search history.
+
+    ``cell`` holds the searched architecture — a :class:`Cell` or, in the
+    macro space, a :class:`~repro.nasbench.macro.MacroSpec`.
+    """
 
     index: int
-    cell: Cell
+    cell: Cell | MacroSpec
     config: AcceleratorConfig
     key: str
     accuracy: float
@@ -183,10 +197,10 @@ class CoSearchResult:
 
 
 class _CellsOfConfig:
-    """Membership view: has this cell been paired with a given config yet?
+    """Membership view: has this architecture been paired with a config yet?
 
-    Adapts the co-search's pair-key ``seen`` set to the ``Container[Cell]``
-    interface :func:`mutate_unique` de-duplicates against.
+    Adapts the co-search's pair-key ``seen`` set to the container interface
+    :func:`mutate_unique` / :func:`mutate_macro_unique` de-duplicate against.
     """
 
     def __init__(self, seen: set[str], batch: set[str], digest: str):
@@ -195,14 +209,14 @@ class _CellsOfConfig:
         self._digest = digest
 
     def __contains__(self, cell: object) -> bool:
-        if not isinstance(cell, Cell):
+        if not isinstance(cell, (Cell, MacroSpec)):
             return False
         key = pair_key(cell, self._digest)
         return key in self._seen or key in self._batch
 
 
-def pair_key(cell: Cell, digest: str) -> str:
-    """Identity of one (cell, configuration) pair (archive and dedup key)."""
+def pair_key(cell: Cell | MacroSpec, digest: str) -> str:
+    """Identity of one (architecture, configuration) pair (archive/dedup key)."""
     return f"{cell.fingerprint}@{digest}"
 
 
@@ -343,7 +357,7 @@ class CoSearchEngine:
     # Evaluation (one config-axis vectorized pass per generation)
     # ------------------------------------------------------------------ #
     def _evaluate(
-        self, pairs: Sequence[tuple[Cell, AcceleratorConfig]]
+        self, pairs: Sequence[tuple[Cell | MacroSpec, AcceleratorConfig]]
     ) -> tuple[np.ndarray, np.ndarray]:
         """Cost and accuracy arrays of the generation's pairs.
 
@@ -352,7 +366,7 @@ class CoSearchEngine:
         :meth:`~BatchSimulator.evaluate_table_grid` pass yields every
         (config, cell) cost, from which each pair reads its own entry.
         """
-        networks = [build_network(cell, self.network_config) for cell, _ in pairs]
+        networks = [expand_architecture(arch, self.network_config) for arch, _ in pairs]
         table = LayerTable.from_networks(networks)
 
         distinct: dict[str, int] = {}
@@ -371,13 +385,28 @@ class CoSearchEngine:
         accuracies = np.array([self._accuracy_of(cell) for cell, _ in pairs])
         return costs, accuracies
 
-    def _accuracy_of(self, cell: Cell) -> float:
-        """Oracle accuracy of *cell* (hardware-independent, cached)."""
-        cached = self._accuracy_cache.get(cell.fingerprint)
+    def _accuracy_of(self, arch: Cell | MacroSpec) -> float:
+        """Oracle accuracy of *arch* (hardware-independent, cached).
+
+        Macro specs key the surrogate on the macro fingerprint with the
+        representative first-stage cell's structural terms and the staged
+        expansion's parameter count — matching
+        :meth:`~repro.nasbench.dataset.NASBenchDataset.from_macros`.
+        """
+        cached = self._accuracy_cache.get(arch.fingerprint)
         if cached is not None:
             return cached
-        accuracy = oracle_accuracy(cell, self.network_config, self.accuracy_model)
-        self._accuracy_cache[cell.fingerprint] = accuracy
+        if isinstance(arch, MacroSpec):
+            representative = arch.representative_cell
+            accuracy = self.accuracy_model.mean_validation_accuracy(
+                representative,
+                fingerprint=arch.fingerprint,
+                metrics=compute_metrics(representative, prune=False),
+                trainable_parameters=arch.build_network().trainable_parameters,
+            )
+        else:
+            accuracy = oracle_accuracy(arch, self.network_config, self.accuracy_model)
+        self._accuracy_cache[arch.fingerprint] = accuracy
         return accuracy
 
     # ------------------------------------------------------------------ #
@@ -391,10 +420,10 @@ class CoSearchEngine:
         records: list[PairRecord],
         population: deque,
         selection: np.ndarray | None,
-    ) -> list[tuple[Cell, AcceleratorConfig]]:
+    ) -> list[tuple[Cell | MacroSpec, AcceleratorConfig]]:
         """The next generation's unique (cell, configuration) pairs."""
         spec = self.spec
-        batch: list[tuple[Cell, AcceleratorConfig]] = []
+        batch: list[tuple[Cell | MacroSpec, AcceleratorConfig]] = []
         batch_keys: set[str] = set()
 
         def admit(cell: Cell, config: AcceleratorConfig) -> None:
@@ -437,7 +466,7 @@ class CoSearchEngine:
         rng: np.random.Generator,
         seen: set[str],
         batch_keys: set[str],
-    ) -> tuple[Cell, AcceleratorConfig]:
+    ) -> tuple[Cell | MacroSpec, AcceleratorConfig]:
         """One never-seen child pair: a hardware step or a cell mutation."""
         spec = self.spec
         if rng.random() < spec.hardware_move_probability:
@@ -451,8 +480,11 @@ class CoSearchEngine:
             # The whole hardware neighborhood of this cell is exhausted;
             # fall through to a cell mutation on the parent's hardware.
         parent_digest = config_digest(parent.config)
+        mutate = (
+            mutate_macro_unique if isinstance(parent.cell, MacroSpec) else mutate_unique
+        )
         try:
-            cell = mutate_unique(
+            cell = mutate(
                 parent.cell,
                 rng,
                 _CellsOfConfig(seen, batch_keys, parent_digest),
@@ -467,14 +499,26 @@ class CoSearchEngine:
 
     def _random_pair(
         self, rng: np.random.Generator, seen: set[str], batch_keys: set[str]
-    ) -> tuple[Cell, AcceleratorConfig]:
+    ) -> tuple[Cell | MacroSpec, AcceleratorConfig]:
         spec = self.spec
         for _ in range(_RANDOM_ATTEMPTS):
-            cell = random_cell(rng, spec.max_vertices, spec.max_edges)
+            arch: Cell | MacroSpec
+            if spec.arch_space == "macro":
+                arch = random_macro(
+                    rng,
+                    max_vertices=spec.max_vertices,
+                    max_edges=spec.max_edges,
+                    stem_channels=self.network_config.stem_channels,
+                    image_size=self.network_config.image_size,
+                    image_channels=self.network_config.image_channels,
+                    num_classes=self.network_config.num_classes,
+                )
+            else:
+                arch = random_cell(rng, spec.max_vertices, spec.max_edges)
             config = self.space.sample(rng)
-            key = pair_key(cell, config_digest(config))
+            key = pair_key(arch, config_digest(config))
             if key not in seen and key not in batch_keys:
-                return cell, config
+                return arch, config
         raise SearchError(
             f"could not draw an unseen random pair in {_RANDOM_ATTEMPTS} "
             "attempts; the joint search space appears exhausted"
@@ -509,6 +553,7 @@ def studied_baselines(
                 max_vertices=spec.max_vertices,
                 max_edges=spec.max_edges,
                 enable_parameter_caching=spec.enable_parameter_caching,
+                arch_space=spec.arch_space,
             )
             result = SearchEngine(search_spec).run()
         except SearchError:

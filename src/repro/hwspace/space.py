@@ -29,8 +29,9 @@ from ..arch.config import EDGE_TPU_V1, AcceleratorConfig
 from ..errors import InvalidConfigError
 from ..service.store import stable_digest
 
-#: AcceleratorConfig fields a space may put an axis on (Table 2 parameters;
-#: the overhead constants and legacy entry counts are not searched).
+#: AcceleratorConfig fields a space may put an axis on (Table 2 parameters
+#: plus the deployment axes — batch size and operand bit-widths; the overhead
+#: constants and legacy entry counts are not searched).
 SEARCHABLE_FIELDS: tuple[str, ...] = (
     "clock_mhz",
     "pes_x",
@@ -42,6 +43,9 @@ SEARCHABLE_FIELDS: tuple[str, ...] = (
     "macs_per_lane",
     "pe_memory_cache_fraction",
     "io_bandwidth_gbps",
+    "batch_size",
+    "weight_bits",
+    "activation_bits",
 )
 
 _FIELD_TYPES: dict[str, str] = {spec.name: str(spec.type) for spec in fields(AcceleratorConfig)}

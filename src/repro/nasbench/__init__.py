@@ -21,11 +21,25 @@ from .famous_cells import (
 from .generator import enumerate_cells, random_cell, sample_unique_cells
 from .graph_metrics import CellMetrics, compute_metrics
 from .hashing import cell_fingerprint, hash_graph, permute_cell
+from .macro import (
+    MAX_STAGES,
+    MAX_STAGE_DEPTH,
+    WIDTH_MULTIPLIERS,
+    MacroSpec,
+    StageSpec,
+    architecture_from_dict,
+    architecture_to_dict,
+    expand_architecture,
+    random_macro,
+)
 from .mutation import (
+    MACRO_MUTATION_KINDS,
     MUTATION_KINDS,
     add_vertex,
     flip_edge,
     mutate_cell,
+    mutate_macro,
+    mutate_macro_unique,
     mutate_unique,
     remove_vertex,
     swap_op,
@@ -67,21 +81,29 @@ __all__ = [
     "KIND_CODES",
     "LayerSpec",
     "LayerTable",
+    "MACRO_MUTATION_KINDS",
     "MAXPOOL3X3",
     "MAX_EDGES",
+    "MAX_STAGES",
+    "MAX_STAGE_DEPTH",
     "MAX_VERTICES",
     "MUTATION_KINDS",
+    "MacroSpec",
     "ModelRecord",
     "NASBenchDataset",
     "NetworkConfig",
     "NetworkSpec",
     "OUTPUT",
     "ParameterInterval",
+    "StageSpec",
     "SECOND_BEST_ACCURACY_CELL",
     "SECOND_BEST_ACCURACY_VALUE",
     "SHALLOW_CONV_HEAVY_CELL",
     "SurrogateAccuracyModel",
+    "WIDTH_MULTIPLIERS",
     "add_vertex",
+    "architecture_from_dict",
+    "architecture_to_dict",
     "build_cell_layers",
     "build_network",
     "cell_fingerprint",
@@ -89,13 +111,17 @@ __all__ = [
     "compute_vertex_channels",
     "count_parameters",
     "enumerate_cells",
+    "expand_architecture",
     "flip_edge",
     "hash_graph",
     "mutate_cell",
+    "mutate_macro",
+    "mutate_macro_unique",
     "mutate_unique",
     "parameter_distribution",
     "permute_cell",
     "random_cell",
+    "random_macro",
     "remove_vertex",
     "sample_unique_cells",
     "swap_op",

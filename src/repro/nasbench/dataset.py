@@ -21,12 +21,20 @@ from .famous_cells import FAMOUS_CELLS
 from .generator import enumerate_cells, sample_unique_cells
 from .graph_metrics import CellMetrics, compute_metrics
 from .hashing import cell_fingerprint
+from .macro import MacroSpec
 from .network import NetworkConfig, NetworkSpec, build_network
 
 
 @dataclass(frozen=True)
 class ModelRecord:
-    """One model of the dataset: a unique cell plus its derived quantities."""
+    """One model of the dataset: a unique architecture plus derived quantities.
+
+    Legacy records carry a cell expanded through the dataset's shared
+    backbone; macro records (``macro`` set) additionally carry their own
+    :class:`~repro.nasbench.macro.MacroSpec`, whose fingerprint then serves
+    as the record's identity (``cell`` holds the macro's representative
+    first-stage cell so structural queries keep working).
+    """
 
     index: int
     cell: Cell
@@ -34,9 +42,21 @@ class ModelRecord:
     metrics: CellMetrics
     trainable_parameters: int
     mean_validation_accuracy: float
+    macro: MacroSpec | None = None
+
+    @property
+    def architecture(self) -> Cell | MacroSpec:
+        """The searchable object this record measures (macro when present)."""
+        return self.macro if self.macro is not None else self.cell
 
     def build_network(self, config: NetworkConfig | None = None) -> NetworkSpec:
-        """Expand the record's cell into its full network specification."""
+        """Expand the record's architecture into its full network.
+
+        Macro records expand through their own staged schedule and ignore
+        *config*; cell records expand through the legacy backbone.
+        """
+        if self.macro is not None:
+            return self.macro.build_network()
         return build_network(self.cell, config)
 
 
@@ -127,6 +147,57 @@ class NASBenchDataset:
             raise DatasetError("no valid cells were provided")
         return cls(records, network_config)
 
+    @classmethod
+    def from_macros(
+        cls,
+        macros: Iterable[MacroSpec],
+        network_config: NetworkConfig | None = None,
+        accuracy_model: SurrogateAccuracyModel | None = None,
+    ) -> "NASBenchDataset":
+        """Build a dataset from macro specs (de-duplicated by fingerprint).
+
+        The surrogate accuracy keys on the *macro* fingerprint (so two
+        macros sharing a cell still draw independent training noise) and its
+        structural terms read the representative first-stage cell; the
+        parameter term sees the true staged expansion.  *network_config*
+        only fills the dataset attribute legacy consumers read — macro
+        records expand through their own schedule.
+        """
+        network_config = network_config or NetworkConfig()
+        accuracy_model = accuracy_model or SurrogateAccuracyModel()
+
+        records: list[ModelRecord] = []
+        seen: set[str] = set()
+        for macro in macros:
+            fingerprint = macro.fingerprint
+            if fingerprint in seen:
+                continue
+            seen.add(fingerprint)
+            representative = macro.representative_cell
+            metrics = compute_metrics(representative, prune=False)
+            network = macro.build_network()
+            parameters = network.trainable_parameters
+            accuracy = accuracy_model.mean_validation_accuracy(
+                representative,
+                fingerprint=fingerprint,
+                metrics=metrics,
+                trainable_parameters=parameters,
+            )
+            records.append(
+                ModelRecord(
+                    index=len(records),
+                    cell=representative,
+                    fingerprint=fingerprint,
+                    metrics=metrics,
+                    trainable_parameters=parameters,
+                    mean_validation_accuracy=accuracy,
+                    macro=macro,
+                )
+            )
+        if not records:
+            raise DatasetError("no valid macro specs were provided")
+        return cls(records, network_config)
+
     # ------------------------------------------------------------------ #
     # Container protocol
     # ------------------------------------------------------------------ #
@@ -163,8 +234,10 @@ class NASBenchDataset:
         """Return the record whose cell is isomorphic to *cell*."""
         return self.find(cell_fingerprint(cell))
 
-    def __contains__(self, cell: Cell) -> bool:
-        return cell_fingerprint(cell) in self._by_fingerprint
+    def __contains__(self, arch: Cell | MacroSpec) -> bool:
+        if isinstance(arch, MacroSpec):
+            return arch.fingerprint in self._by_fingerprint
+        return cell_fingerprint(arch) in self._by_fingerprint
 
     def filter(self, predicate: Callable[[ModelRecord], bool]) -> "NASBenchDataset":
         """Return a new dataset with only the records satisfying *predicate*."""

@@ -26,10 +26,14 @@ import numpy as np
 
 from ..errors import DatasetError, InvalidCellError
 from .cell import Cell
+from .macro import MAX_STAGE_DEPTH, WIDTH_MULTIPLIERS, MacroSpec, StageSpec
 from .ops import INTERIOR_OPS, MAX_EDGES, MAX_VERTICES
 
 #: The primitive mutation kinds, in canonical order.
 MUTATION_KINDS: tuple[str, ...] = ("edge_flip", "op_swap", "vertex_add", "vertex_remove")
+
+#: The macro-level mutation kinds (see :func:`mutate_macro`).
+MACRO_MUTATION_KINDS: tuple[str, ...] = ("stage_cell", "stage_depth", "stage_width")
 
 
 # --------------------------------------------------------------------------- #
@@ -214,4 +218,160 @@ def mutate_unique(
             return mutant
     raise DatasetError(
         f"every mutation of {cell} drawn in {max_attempts} attempts was already seen"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Macro-level mutations
+# --------------------------------------------------------------------------- #
+def _nearest_multiplier_index(multiplier: float) -> int:
+    """Index of the :data:`WIDTH_MULTIPLIERS` rung closest to *multiplier*."""
+    return min(
+        range(len(WIDTH_MULTIPLIERS)),
+        key=lambda index: abs(WIDTH_MULTIPLIERS[index] - multiplier),
+    )
+
+
+def _macro_applicable_kinds(macro: MacroSpec, kinds: Sequence[str]) -> list[str]:
+    """The macro mutation kinds that can change *macro* at all."""
+    applicable = []
+    for kind in kinds:
+        if kind == "stage_cell":
+            applicable.append(kind)
+        elif kind == "stage_depth":
+            if any(1 < stage.depth or stage.depth < MAX_STAGE_DEPTH for stage in macro.stages):
+                applicable.append(kind)
+        elif kind == "stage_width":
+            # A ladder step exists unless every stage sits on a one-rung
+            # ladder, which cannot happen with the canonical ladder.
+            if len(WIDTH_MULTIPLIERS) > 1:
+                applicable.append(kind)
+        else:
+            raise DatasetError(
+                f"unknown macro mutation kind {kind!r}; expected one of {MACRO_MUTATION_KINDS}"
+            )
+    return applicable
+
+
+def mutate_macro(
+    macro: MacroSpec,
+    rng: np.random.Generator,
+    max_vertices: int = MAX_VERTICES,
+    max_edges: int = MAX_EDGES,
+    interior_ops: Sequence[str] = INTERIOR_OPS,
+    kinds: Sequence[str] = MACRO_MUTATION_KINDS,
+    max_attempts: int = 100,
+) -> MacroSpec:
+    """Return one random valid macro-level mutation of *macro*.
+
+    The move set mirrors the cell driver at the stage granularity:
+
+    * **stage cell** — replace one stage's cell with a :func:`mutate_cell`
+      neighbor of it (the cell-space move, localized to one stage);
+    * **stage depth** — one stage's depth ±1 within ``[1, MAX_STAGE_DEPTH]``;
+    * **stage width** — one stage's width multiplier steps one rung up or
+      down the :data:`WIDTH_MULTIPLIERS` ladder (off-ladder multipliers snap
+      to the nearest rung first).
+
+    Candidates identical to the parent (fingerprint-equal — e.g. a cell
+    mutation that lands on an isomorphic cell) are rejected and redrawn.
+
+    Raises
+    ------
+    DatasetError
+        If no valid, model-changing mutation is found in *max_attempts*
+        draws.
+    """
+    applicable = _macro_applicable_kinds(macro, kinds)
+    if not applicable:
+        raise DatasetError(f"no macro mutation kind of {tuple(kinds)} is applicable to {macro}")
+    for _ in range(max_attempts):
+        kind = applicable[int(rng.integers(len(applicable)))]
+        stage_index = int(rng.integers(len(macro.stages)))
+        stage = macro.stages[stage_index]
+        try:
+            if kind == "stage_cell":
+                mutated = StageSpec(
+                    cell=mutate_cell(
+                        stage.cell,
+                        rng,
+                        max_vertices=max_vertices,
+                        max_edges=max_edges,
+                        interior_ops=interior_ops,
+                    ),
+                    depth=stage.depth,
+                    width_multiplier=stage.width_multiplier,
+                )
+            elif kind == "stage_depth":
+                step = 1 if rng.integers(2) else -1
+                depth = stage.depth + step
+                if not 1 <= depth <= MAX_STAGE_DEPTH:
+                    continue
+                mutated = StageSpec(
+                    cell=stage.cell, depth=depth, width_multiplier=stage.width_multiplier
+                )
+            else:  # stage_width
+                rung = _nearest_multiplier_index(stage.width_multiplier)
+                step = 1 if rng.integers(2) else -1
+                if not 0 <= rung + step < len(WIDTH_MULTIPLIERS):
+                    continue
+                multiplier = WIDTH_MULTIPLIERS[rung + step]
+                if multiplier == stage.width_multiplier:
+                    continue
+                mutated = StageSpec(
+                    cell=stage.cell, depth=stage.depth, width_multiplier=multiplier
+                )
+        except (InvalidCellError, DatasetError):
+            continue
+        stages = list(macro.stages)
+        stages[stage_index] = mutated
+        candidate = MacroSpec(
+            stages,
+            stem_channels=macro.stem_channels,
+            image_size=macro.image_size,
+            image_channels=macro.image_channels,
+            num_classes=macro.num_classes,
+        )
+        if candidate == macro:  # fingerprint-equal: not a new model
+            continue
+        return candidate
+    raise DatasetError(
+        f"failed to produce a valid macro mutation of {macro} after {max_attempts} attempts"
+    )
+
+
+def mutate_macro_unique(
+    macro: MacroSpec,
+    rng: np.random.Generator,
+    seen: Container[MacroSpec],
+    max_vertices: int = MAX_VERTICES,
+    max_edges: int = MAX_EDGES,
+    interior_ops: Sequence[str] = INTERIOR_OPS,
+    kinds: Sequence[str] = MACRO_MUTATION_KINDS,
+    max_attempts: int = 50,
+) -> MacroSpec:
+    """Mutate *macro* until the result is not contained in *seen*.
+
+    Membership is fingerprint-based, exactly like :func:`mutate_unique`: a
+    ``set[MacroSpec]`` hashes by the cached content fingerprint.
+
+    Raises
+    ------
+    DatasetError
+        If every drawn mutation was already seen; callers typically fall
+        back to a fresh :func:`~repro.nasbench.macro.random_macro`.
+    """
+    for _ in range(max_attempts):
+        mutant = mutate_macro(
+            macro,
+            rng,
+            max_vertices=max_vertices,
+            max_edges=max_edges,
+            interior_ops=interior_ops,
+            kinds=kinds,
+        )
+        if mutant not in seen:
+            return mutant
+    raise DatasetError(
+        f"every macro mutation of {macro} drawn in {max_attempts} attempts was already seen"
     )

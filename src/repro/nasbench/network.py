@@ -156,8 +156,23 @@ class NetworkConfig:
     num_classes: int = 10
 
     def __post_init__(self) -> None:
-        if self.stem_channels <= 0 or self.num_stacks <= 0 or self.cells_per_stack <= 0:
-            raise InvalidCellError("network configuration values must be positive")
+        for name in (
+            "stem_channels",
+            "num_stacks",
+            "cells_per_stack",
+            "image_size",
+            "image_channels",
+            "num_classes",
+        ):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise InvalidCellError(
+                    f"network configuration field {name} must be an integer, got {value!r}"
+                )
+            if value <= 0:
+                raise InvalidCellError(
+                    f"network configuration field {name} must be positive, got {value}"
+                )
         if self.image_size < 2 ** (self.num_stacks - 1):
             raise InvalidCellError(
                 "image size too small for the requested number of downsampling stages"
@@ -429,78 +444,21 @@ def build_cell_layers(
 def build_network(cell: Cell, config: NetworkConfig | None = None) -> NetworkSpec:
     """Expand *cell* into the full NASBench-101 CIFAR-10 network.
 
-    The cell is pruned first; the resulting :class:`NetworkSpec` contains the
-    stem convolution, ``num_stacks`` stacks of ``cells_per_stack`` cell
-    instances with downsampling between stacks, and the classifier head.
+    A thin wrapper over the staged macro expansion: the legacy backbone is
+    exactly the trivial :class:`~repro.nasbench.macro.MacroSpec` (the same
+    pruned cell in every stage, stage-0 width multiplier 1, multiplier 2
+    after every downsample), so this delegates to
+    :meth:`~repro.nasbench.macro.MacroSpec.from_network_config` and produces
+    bit-for-bit the layer list the inline loop used to emit.
     """
+    from .macro import MacroSpec  # deferred: macro imports this module
+
     if config is None:
         config = NetworkConfig()
-    pruned = cell.prune()
-
-    layers: list[LayerSpec] = []
-    height = width = config.image_size
-    channels = config.stem_channels
-
-    layers.append(
-        LayerSpec(
-            name="stem/conv3x3",
-            kind=KIND_CONV,
-            input_height=height,
-            input_width=width,
-            in_channels=config.image_channels,
-            out_channels=channels,
-            kernel_size=3,
-            stride=1,
-            has_batch_norm=True,
-        )
-    )
-
-    in_channels = channels
-    for stack_index in range(config.num_stacks):
-        if stack_index > 0:
-            layers.append(
-                LayerSpec(
-                    name=f"stack{stack_index}/downsample",
-                    kind=KIND_DOWNSAMPLE,
-                    input_height=height,
-                    input_width=width,
-                    in_channels=in_channels,
-                    out_channels=in_channels,
-                    kernel_size=2,
-                    stride=2,
-                )
-            )
-            height = math.ceil(height / 2)
-            width = math.ceil(width / 2)
-            channels *= 2
-
-        for cell_index in range(config.cells_per_stack):
-            prefix = f"stack{stack_index}/cell{cell_index}"
-            layers.extend(build_cell_layers(pruned, in_channels, channels, height, width, prefix))
-            in_channels = channels
-
-    layers.append(
-        LayerSpec(
-            name="head/global_pool",
-            kind=KIND_GLOBAL_POOL,
-            input_height=height,
-            input_width=width,
-            in_channels=in_channels,
-            out_channels=in_channels,
-        )
-    )
-    layers.append(
-        LayerSpec(
-            name="head/dense",
-            kind=KIND_DENSE,
-            input_height=1,
-            input_width=1,
-            in_channels=in_channels,
-            out_channels=config.num_classes,
-        )
-    )
-
-    return NetworkSpec(cell=pruned, config=config, layers=tuple(layers))
+    network = MacroSpec.from_network_config(cell, config).build_network()
+    # The derived config of the trivial macro round-trips the input exactly;
+    # return the caller's instance so identity-based callers see their own.
+    return NetworkSpec(cell=network.cell, config=config, layers=network.layers)
 
 
 def iter_layer_names(spec: NetworkSpec) -> Iterable[str]:

@@ -11,9 +11,10 @@ See DESIGN.md §7.
 
 from .engine import SearchEngine
 from .result import GenerationStats, SearchResult
-from .spec import STRATEGIES, SearchSpec
+from .spec import ARCH_SPACES, STRATEGIES, SearchSpec
 
 __all__ = [
+    "ARCH_SPACES",
     "STRATEGIES",
     "GenerationStats",
     "SearchEngine",

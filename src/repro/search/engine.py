@@ -36,7 +36,8 @@ from ..nasbench.cell import Cell
 from ..nasbench.dataset import ModelRecord, NASBenchDataset
 from ..nasbench.generator import random_cell
 from ..nasbench.graph_metrics import compute_metrics
-from ..nasbench.mutation import mutate_unique
+from ..nasbench.macro import MacroSpec, random_macro
+from ..nasbench.mutation import mutate_macro_unique, mutate_unique
 from ..nasbench.network import NetworkConfig, build_network
 from ..service.query import SweepService
 from ..service.store import MeasurementStore
@@ -176,7 +177,7 @@ class SearchEngine:
         start = time.perf_counter()
         rng = np.random.default_rng(spec.seed)
 
-        seen: set[Cell] = set()
+        seen: set[Cell | MacroSpec] = set()
         records: list[ModelRecord] = []
         population: deque[int] = deque(maxlen=spec.population_size)
         archive: ParetoArchive | None = None
@@ -260,22 +261,22 @@ class SearchEngine:
         self,
         generation: int,
         rng: np.random.Generator,
-        seen: set[Cell],
+        seen: set[Cell | MacroSpec],
         records: list[ModelRecord],
         population: deque,
         selection: np.ndarray | None,
         dataset: NASBenchDataset | None,
         measurements,
-    ) -> list[Cell]:
-        """The next generation's unique candidate cells (length = generation size)."""
+    ) -> list[Cell | MacroSpec]:
+        """The next generation's unique candidates (length = generation size)."""
         spec = self.spec
         if generation == 0 or spec.strategy == "random":
             return self._random_batch(rng, seen, spec.population_size)
         assert selection is not None and dataset is not None
 
         if spec.strategy == "evolution":
-            batch: list[Cell] = []
-            batch_set: set[Cell] = set()
+            batch: list[Cell | MacroSpec] = []
+            batch_set: set[Cell | MacroSpec] = set()
             for _ in range(spec.population_size):
                 parent = self._tournament(rng, population, selection, records)
                 child = self._unique_child(parent, rng, seen, batch_set)
@@ -315,7 +316,7 @@ class SearchEngine:
         population: deque,
         selection: np.ndarray,
         records: list[ModelRecord],
-    ) -> Cell:
+    ) -> Cell | MacroSpec:
         """Best-of-k parent selection over the current (aged) population."""
         alive = list(population)
         size = min(self.spec.tournament_size, len(alive))
@@ -324,18 +325,27 @@ class SearchEngine:
             (alive[int(index)] for index in picks),
             key=lambda model_index: (selection[model_index], model_index),
         )
-        return records[best].cell
+        return records[best].architecture
 
     def _unique_child(
         self,
-        parent: Cell,
+        parent: Cell | MacroSpec,
         rng: np.random.Generator,
-        seen: set[Cell],
-        batch_set: set[Cell],
-    ) -> Cell:
+        seen: set[Cell | MacroSpec],
+        batch_set: set[Cell | MacroSpec],
+    ) -> Cell | MacroSpec:
         """One never-seen mutant of *parent* (random fallback keeps batches full)."""
         spec = self.spec
         try:
+            if isinstance(parent, MacroSpec):
+                return mutate_macro_unique(
+                    parent,
+                    rng,
+                    _Union(seen, batch_set),
+                    max_vertices=spec.max_vertices,
+                    max_edges=spec.max_edges,
+                    max_attempts=_MUTATION_ATTEMPTS,
+                )
             return mutate_unique(
                 parent,
                 rng,
@@ -350,10 +360,10 @@ class SearchEngine:
             return self._random_unique(rng, seen, batch_set)
 
     def _random_batch(
-        self, rng: np.random.Generator, seen: set[Cell], count: int
-    ) -> list[Cell]:
-        batch: list[Cell] = []
-        batch_set: set[Cell] = set()
+        self, rng: np.random.Generator, seen: set[Cell | MacroSpec], count: int
+    ) -> list[Cell | MacroSpec]:
+        batch: list[Cell | MacroSpec] = []
+        batch_set: set[Cell | MacroSpec] = set()
         for _ in range(count):
             cell = self._random_unique(rng, seen, batch_set)
             batch.append(cell)
@@ -361,15 +371,30 @@ class SearchEngine:
         return batch
 
     def _random_unique(
-        self, rng: np.random.Generator, seen: set[Cell], batch_set: set[Cell]
-    ) -> Cell:
+        self,
+        rng: np.random.Generator,
+        seen: set[Cell | MacroSpec],
+        batch_set: set[Cell | MacroSpec],
+    ) -> Cell | MacroSpec:
         spec = self.spec
         for _ in range(_RANDOM_ATTEMPTS):
-            cell = random_cell(rng, spec.max_vertices, spec.max_edges)
-            if cell not in seen and cell not in batch_set:
-                return cell
+            arch: Cell | MacroSpec
+            if spec.arch_space == "macro":
+                arch = random_macro(
+                    rng,
+                    max_vertices=spec.max_vertices,
+                    max_edges=spec.max_edges,
+                    stem_channels=self.network_config.stem_channels,
+                    image_size=self.network_config.image_size,
+                    image_channels=self.network_config.image_channels,
+                    num_classes=self.network_config.num_classes,
+                )
+            else:
+                arch = random_cell(rng, spec.max_vertices, spec.max_edges)
+            if arch not in seen and arch not in batch_set:
+                return arch
         raise SearchError(
-            f"could not draw an unseen random cell in {_RANDOM_ATTEMPTS} "
+            f"could not draw an unseen random architecture in {_RANDOM_ATTEMPTS} "
             "attempts; the searched sub-space appears exhausted"
         )
 
@@ -384,20 +409,43 @@ class SearchEngine:
         """
         return oracle_accuracy(cell, self.network_config, self.accuracy_model)
 
-    def _record(self, cell: Cell, index: int) -> ModelRecord:
-        """Build one history record incrementally (matches ``from_cells``)."""
-        metrics = compute_metrics(cell, prune=False)
-        network = build_network(cell, self.network_config)
+    def _record(self, arch: Cell | MacroSpec, index: int) -> ModelRecord:
+        """Build one history record incrementally.
+
+        Matches ``NASBenchDataset.from_cells`` for cells and ``from_macros``
+        for macro specs, so engine histories and bulk-built datasets agree.
+        """
+        if isinstance(arch, MacroSpec):
+            representative = arch.representative_cell
+            metrics = compute_metrics(representative, prune=False)
+            network = arch.build_network()
+            accuracy = self.accuracy_model.mean_validation_accuracy(
+                representative,
+                fingerprint=arch.fingerprint,
+                metrics=metrics,
+                trainable_parameters=network.trainable_parameters,
+            )
+            return ModelRecord(
+                index=index,
+                cell=representative,
+                fingerprint=arch.fingerprint,
+                metrics=metrics,
+                trainable_parameters=network.trainable_parameters,
+                mean_validation_accuracy=accuracy,
+                macro=arch,
+            )
+        metrics = compute_metrics(arch, prune=False)
+        network = build_network(arch, self.network_config)
         accuracy = self.accuracy_model.mean_validation_accuracy(
-            cell,
-            fingerprint=cell.fingerprint,
+            arch,
+            fingerprint=arch.fingerprint,
             metrics=metrics,
             trainable_parameters=network.trainable_parameters,
         )
         return ModelRecord(
             index=index,
-            cell=cell,
-            fingerprint=cell.fingerprint,
+            cell=arch,
+            fingerprint=arch.fingerprint,
             metrics=metrics,
             trainable_parameters=network.trainable_parameters,
             mean_validation_accuracy=accuracy,

@@ -19,6 +19,10 @@ from ..nasbench.ops import MAX_EDGES, MAX_VERTICES
 #: The supported search strategies, in canonical order.
 STRATEGIES: tuple[str, ...] = ("random", "evolution", "predictor")
 
+#: The supported architecture spaces: the legacy fixed-backbone cell space
+#: and the staged macro space (per-stage cells, depths and widths).
+ARCH_SPACES: tuple[str, ...] = ("cell", "macro")
+
 
 @dataclass(frozen=True)
 class SearchSpec:
@@ -47,6 +51,11 @@ class SearchSpec:
     pool_factor:
         Predictor strategy only: mutant-pool size as a multiple of
         *population_size* (the simulated "top fraction" is its inverse).
+    arch_space:
+        ``"cell"`` searches cells expanded through the shared backbone;
+        ``"macro"`` searches staged :class:`~repro.nasbench.macro.MacroSpec`
+        architectures (per-stage cells, depth and width schedules).  The
+        predictor strategy is cell-only: its features are cell-structural.
     predictor_settings:
         Hyperparameters of the learned model the predictor strategy refits
         each generation on all measurements so far (fewer epochs than the
@@ -66,11 +75,22 @@ class SearchSpec:
     max_edges: int = MAX_EDGES
     predictor_settings: TrainingSettings = field(default_factory=lambda: TrainingSettings(epochs=8))
     enable_parameter_caching: bool = True
+    arch_space: str = "cell"
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
             raise SearchError(
                 f"unknown search strategy {self.strategy!r}; expected one of {STRATEGIES}"
+            )
+        if self.arch_space not in ARCH_SPACES:
+            raise SearchError(
+                f"unknown architecture space {self.arch_space!r}; "
+                f"expected one of {ARCH_SPACES}"
+            )
+        if self.arch_space == "macro" and self.strategy == "predictor":
+            raise SearchError(
+                "the predictor strategy only supports the cell space "
+                "(its features are cell-structural)"
             )
         if self.metric not in SUPPORTED_METRICS:
             raise SearchError(

@@ -44,6 +44,7 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 from ..arch.config import AcceleratorConfig
 from ..errors import ServiceError
 from ..nasbench.cell import Cell
+from ..nasbench.macro import MacroSpec, architecture_from_dict, architecture_to_dict
 from ..nasbench.network import NetworkConfig
 from .store import STORE_FORMAT_VERSION, stable_digest
 
@@ -180,6 +181,7 @@ class SweepManifest:
                 {
                     "fingerprints": prints,
                     "cells": [record.cell.to_dict() for record in records],
+                    "archs": [architecture_to_dict(record.architecture) for record in records],
                 }
             )
             for config in configs:
@@ -300,6 +302,17 @@ class SweepManifest:
 
     def shard_cells(self, shard_index: int) -> list[Cell]:
         return [Cell.from_dict(entry) for entry in self._payload["shards"][shard_index]["cells"]]
+
+    def shard_archs(self, shard_index: int) -> list[Cell | MacroSpec]:
+        """Architectures of one shard — macro specs when the sweep used them.
+
+        Prefers the tagged ``archs`` entries; manifests written before the
+        macro-space release carry only ``cells`` and fall back to them.
+        """
+        shard = self._payload["shards"][shard_index]
+        if "archs" in shard:
+            return [architecture_from_dict(entry) for entry in shard["archs"]]
+        return [Cell.from_dict(entry) for entry in shard["cells"]]
 
     def pair_path(self, store_dir: str | Path, pair: SweepPair) -> Path:
         """Shard file the pair completes into (the store's naming scheme)."""

@@ -648,14 +648,14 @@ class MeasurementStore:
                     progress_callback(config.name, done[config.name], total)
         if not missing_by_shard:
             return
-        cells = [record.cell for record in dataset]
+        archs = [record.architecture for record in dataset]
         with ProcessPoolExecutor(
             max_workers=min(n_jobs, len(missing_by_shard))
         ) as pool:
             futures = {
                 pool.submit(
                     simulate_shard,
-                    cells[ranges[shard_index][0] : ranges[shard_index][1]],
+                    archs[ranges[shard_index][0] : ranges[shard_index][1]],
                     dataset.network_config,
                     tuple(missing),
                     self.enable_parameter_caching,

@@ -38,7 +38,7 @@ import numpy as np
 
 from ..errors import ServiceError
 from ..nasbench.layer_table import LayerTable
-from ..nasbench.network import build_network
+from ..nasbench.macro import expand_architecture
 from ..simulator.batch import GRID_STRATEGIES, BatchSimulator
 from .queue import (
     DEFAULT_LEASE_EXPIRY,
@@ -221,8 +221,8 @@ class SweepWorker:
             return self._table_cache[1]
         network_config = self.manifest.network_config()
         networks = [
-            build_network(cell, network_config)
-            for cell in self.manifest.shard_cells(shard_index)
+            expand_architecture(arch, network_config)
+            for arch in self.manifest.shard_archs(shard_index)
         ]
         table = LayerTable.from_networks(networks)
         self._table_cache = (shard_index, table)

@@ -40,6 +40,7 @@ from ..errors import SimulationError
 from ..nasbench.cell import Cell
 from ..nasbench.dataset import NASBenchDataset
 from ..nasbench.layer_table import LayerTable
+from ..nasbench.macro import MacroSpec, expand_architecture
 from ..nasbench.network import NetworkConfig, NetworkSpec, build_network
 from .energy import layer_energy_table, static_energy_mj
 from .fused import compile_and_time_table
@@ -272,7 +273,7 @@ class BatchSimulator:
         """
         total = len(dataset)
         shards = [chunk for chunk in np.array_split(np.arange(total), n_jobs) if chunk.size]
-        cells = [record.cell for record in dataset]
+        archs = [record.architecture for record in dataset]
         latencies = {config.name: np.empty(total, dtype=float) for config in config_list}
         energies = {config.name: np.full(total, np.nan, dtype=float) for config in config_list}
         done = {config.name: 0 for config in config_list}
@@ -280,7 +281,7 @@ class BatchSimulator:
             futures = {
                 pool.submit(
                     simulate_shard,
-                    [cells[i] for i in chunk],
+                    [archs[i] for i in chunk],
                     dataset.network_config,
                     tuple(config_list),
                     self.enable_parameter_caching,
@@ -302,7 +303,7 @@ class BatchSimulator:
 
 
 def simulate_shard(
-    cells: list[Cell],
+    cells: list[Cell | MacroSpec],
     network_config: NetworkConfig,
     configs: tuple[AcceleratorConfig, ...],
     enable_parameter_caching: bool,
@@ -315,9 +316,10 @@ def simulate_shard(
     :meth:`~repro.service.store.MeasurementStore.extend`, and the
     distributed :class:`~repro.service.worker.SweepWorker` all route one
     claimed shard through this function, so a shard simulates to identical
-    bytes no matter which executor ran it.
+    bytes no matter which executor ran it.  Entries may be bare cells
+    (expanded through *network_config*) or self-contained macro specs.
     """
-    networks = [build_network(cell, network_config) for cell in cells]
+    networks = [expand_architecture(arch, network_config) for arch in cells]
     table = LayerTable.from_networks(networks)
     simulator = BatchSimulator(
         enable_parameter_caching=enable_parameter_caching, strategy=strategy

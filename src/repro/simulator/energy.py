@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..arch.config import AcceleratorConfig
+from ..arch.config import AcceleratorConfig, scaled_bytes
 from ..arch.energy import EnergyParameters
 from ..compiler.schedule import CompiledLayer, CompiledTable
 from .latency import LayerTiming, TimingTable
@@ -25,8 +25,15 @@ def layer_energy_mj(
     config: AcceleratorConfig,
     params: EnergyParameters,
 ) -> float:
-    """Dynamic energy of one layer in millijoules (no static contribution)."""
-    macs = layer.spec.macs
+    """Dynamic energy of one layer in millijoules (no static contribution).
+
+    Per batched inference: MAC, idle-lane and activation-SRAM terms scale
+    with ``config.batch_size`` (``timing.compute_cycles`` is already per
+    batch), while the weight-SRAM staging traffic is charged once per batch.
+    Byte footprints are rescaled by the configured bit-widths.
+    """
+    batch = config.batch_size
+    macs = batch * layer.spec.macs
     mac_energy = params.mac_energy_pj * macs
 
     idle_energy = 0.0
@@ -34,10 +41,11 @@ def layer_energy_mj(
         issued_slots = timing.compute_cycles * config.macs_per_cycle
         idle_energy = params.idle_lane_energy_pj * max(0, issued_slots - macs)
 
-    sram_bytes = (
-        layer.spec.weight_bytes
-        + layer.spec.input_activation_bytes
-        + layer.spec.output_activation_bytes
+    sram_bytes = scaled_bytes(layer.spec.weight_bytes, config.weight_bits) + batch * (
+        scaled_bytes(
+            layer.spec.input_activation_bytes + layer.spec.output_activation_bytes,
+            config.activation_bits,
+        )
     )
     sram_energy = params.sram_byte_energy_pj * sram_bytes
     dram_energy = params.dram_byte_energy_pj * timing.dram_bytes
@@ -52,17 +60,23 @@ def layer_energy_table(
 ) -> np.ndarray:
     """Vectorized :func:`layer_energy_mj`: per-layer dynamic energy in mJ."""
     table = compiled.table
-    macs = table.macs
+    config = compiled.config
+    macs = config.batch_size * table.macs
     mac_energy = params.mac_energy_pj * macs
 
-    issued_slots = timing.compute_cycles * compiled.config.macs_per_cycle
+    issued_slots = timing.compute_cycles * config.macs_per_cycle
     idle_energy = np.where(
         macs > 0,
         params.idle_lane_energy_pj * np.maximum(0, issued_slots - macs),
         0.0,
     )
 
-    sram_bytes = table.weight_bytes + table.input_activation_bytes + table.output_activation_bytes
+    sram_bytes = scaled_bytes(table.weight_bytes, config.weight_bits) + config.batch_size * (
+        scaled_bytes(
+            table.input_activation_bytes + table.output_activation_bytes,
+            config.activation_bits,
+        )
+    )
     sram_energy = params.sram_byte_energy_pj * sram_bytes
     dram_energy = params.dram_byte_energy_pj * timing.dram_bytes
 

@@ -49,7 +49,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..arch.config import AcceleratorConfig
+from ..arch.config import AcceleratorConfig, scaled_bytes
 from ..arch.config_table import ConfigTable
 
 # The dynamic per-event coefficients are technology constants shared by every
@@ -63,12 +63,7 @@ from ..arch.energy import (
     energy_parameters_table,
 )
 from ..arch.interconnect import on_chip_bytes_per_cycle, sustained_bytes_per_cycle
-from ..arch.memory import parameter_cache_bytes
-from ..compiler.param_cache import (
-    CACHE_CONFIG_FIELDS,
-    effective_cache_capacity_array,
-    greedy_cache_assign,
-)
+from ..compiler.param_cache import CACHE_CONFIG_FIELDS, plan_cache_table
 from ..compiler.tiling import MAPPING_CONFIG_FIELDS, map_layer_table
 from ..core.backend import ArrayBackend, get_backend
 from ..nasbench.layer_table import LayerTable
@@ -100,16 +95,28 @@ class FusedGridResult:
 
 @dataclass(frozen=True)
 class _UniqueLevelArrays:
-    """Everything the chunk loop gathers, at unique-sub-config resolution."""
+    """Everything the chunk loop gathers, at unique-sub-config resolution.
 
-    #: (Cm, L) int64 — datapath cycles per unique mapping sub-config.
+    Batch size is a full-config-axis scalar (it is in neither field set), so
+    the per-image quantities stay unique-level and the chunk loop combines
+    them with the batch column: ``dram = stream + batch * act_dram``,
+    ``compute = batch * compute_cycles``, etc.  Everything that touches an
+    energy coefficient stays integer here so the chunk loop can keep the
+    ``pj * int`` association order of the staged kernels.
+    """
+
+    #: (Cm, L) int64 — per-image datapath cycles per unique mapping sub-config.
     compute_cycles: np.ndarray
-    #: (Cm, L) float64 — idle-lane energy term per unique mapping sub-config.
-    idle_energy: np.ndarray
-    #: (Cc, L) int64 — DRAM bytes (streamed + spill + model I/O).
-    dram_bytes: np.ndarray
-    #: (Cc, L) int64 — on-chip refill bytes (cached weights).
+    #: (Cm, L) int64 — per-image idle MAC slots (zero for non-MAC rows).
+    idle_slots: np.ndarray
+    #: (Cc, L) int64 — streamed weight bytes (bit-scaled, once per batch).
+    stream_bytes: np.ndarray
+    #: (Cc, L) int64 — per-image activation DRAM bytes (spill + model I/O).
+    act_dram_bytes: np.ndarray
+    #: (Cc, L) int64 — on-chip refill bytes (cached weights, once per batch).
     refill_bytes: np.ndarray
+    #: (Cc, L) int64 — per-image activation SRAM bytes (bit-scaled).
+    sram_act_bytes: np.ndarray
     #: (C,) rows into the mapping-unique arrays.
     inverse_mapping: np.ndarray
     #: (C,) rows into the cache-unique arrays.
@@ -139,17 +146,14 @@ def _unique_level_arrays(
     Identical factorization to the staged ``_grid_mapping``/``_grid_cache``
     helpers, but the results are *kept* at unique resolution: the chunk loop
     gathers individual rows instead of materializing full-(C, L) arrays.
+    The cache plan itself comes from :func:`plan_cache_table` — the staged
+    planner — so bit-width scaling and the per-width greedy grouping cannot
+    drift between the two paths.
     """
     starts = table.segment_starts
-    weights = table.weight_bytes
     working_set = table.input_activation_bytes + table.output_activation_bytes
-
-    # Model input/output DRAM traffic, charged to the first/last layer rows.
-    extra = np.zeros(len(table), dtype=np.int64)
     first_rows = table.model_offsets[:-1]
     last_rows = table.model_offsets[1:] - 1
-    extra[first_rows] += table.input_activation_bytes[first_rows]
-    extra[last_rows] += table.output_activation_bytes[last_rows]
 
     # --- mapping level: distinct MAPPING_CONFIG_FIELDS rows --------------- #
     unique_m, inverse_m = configs.factor(MAPPING_CONFIG_FIELDS)
@@ -157,39 +161,45 @@ def _unique_level_arrays(
     compute_cycles = np.ascontiguousarray(
         np.atleast_2d(mapping.compute_cycles), dtype=np.int64
     )
-    # The idle-lane energy term only reads mapping fields (issued MAC slots)
-    # and the technology-constant idle coefficient, so it collapses to the
-    # mapping level too.  Same expressions as layer_energy_table.
+    # The idle-lane slot count only reads mapping fields (issued MAC slots),
+    # so it collapses to the mapping level too; it stays an integer so the
+    # chunk loop can batch-scale it before the coefficient multiply, exactly
+    # like layer_energy_table.
     macs = table.macs
     issued_slots = compute_cycles * unique_m.macs_per_cycle
-    idle_energy = np.where(
-        macs > 0,
-        _IDLE_LANE_PJ * np.maximum(0, issued_slots - macs),
-        0.0,
+    idle_slots = np.ascontiguousarray(
+        np.where(macs > 0, np.maximum(0, issued_slots - macs), 0), dtype=np.int64
     )
 
     # --- cache level: distinct CACHE_CONFIG_FIELDS rows ------------------- #
     unique_c, inverse_c = configs.factor(CACHE_CONFIG_FIELDS)
-    total_weight = np.add.reduceat(weights, starts)
-    max_activation = np.maximum.reduceat(working_set, starts)
-    capacity = parameter_cache_bytes(unique_c, max_activation)
-    if enable_parameter_caching:
-        effective = effective_cache_capacity_array(total_weight, capacity)
-        cached_mask = greedy_cache_assign(weights, table.model_offsets, effective)
-        cached = np.where(cached_mask, weights, 0)
-        streamed = weights - cached
-    else:
-        streamed = np.broadcast_to(weights, capacity.shape[:-1] + (len(table),)).copy()
-        cached = weights - streamed
+    cache = plan_cache_table(table, unique_c, enable_caching=enable_parameter_caching)
+    weights_scaled = scaled_bytes(table.weight_bytes, unique_c.weight_bits)
+    streamed = np.ascontiguousarray(np.atleast_2d(cache.streamed_bytes), dtype=np.int64)
+    refill = np.ascontiguousarray(weights_scaled - streamed, dtype=np.int64)
 
-    spill = np.where(working_set > unique_c.total_pe_memory_bytes, working_set, 0)
-    dram_bytes = streamed + spill + extra
+    act_scaled = scaled_bytes(working_set, unique_c.activation_bits)
+    spill = np.where(act_scaled > unique_c.total_pe_memory_bytes, act_scaled, 0)
+    # Per-image model input/output DRAM traffic on the first/last layer rows.
+    input_scaled = scaled_bytes(table.input_activation_bytes, unique_c.activation_bits)
+    output_scaled = scaled_bytes(table.output_activation_bytes, unique_c.activation_bits)
+    extra = np.zeros(spill.shape, dtype=np.int64)
+    extra[..., first_rows] += input_scaled[..., first_rows]
+    extra[..., last_rows] += output_scaled[..., last_rows]
+    act_dram = np.ascontiguousarray(spill + extra, dtype=np.int64)
 
     dstreamed_dscale = None
     if need_slope:
         if enable_parameter_caching:
+            max_activation = np.maximum.reduceat(act_scaled, starts, axis=-1)
             dstreamed_dscale = _relaxed_streamed_slope(
-                unique_c, table, streamed, total_weight, max_activation, capacity, effective
+                unique_c,
+                table,
+                streamed,
+                cache.total_weight_bytes,
+                max_activation,
+                cache.capacity_bytes,
+                cache.effective_capacity_bytes,
             )
         else:
             # No caching: streamed bytes never react to the SRAM size (the
@@ -197,9 +207,11 @@ def _unique_level_arrays(
             dstreamed_dscale = np.zeros(streamed.shape, dtype=np.float64)
     return _UniqueLevelArrays(
         compute_cycles=compute_cycles,
-        idle_energy=idle_energy,
-        dram_bytes=dram_bytes,
-        refill_bytes=cached,
+        idle_slots=idle_slots,
+        stream_bytes=streamed,
+        act_dram_bytes=act_dram,
+        refill_bytes=refill,
+        sram_act_bytes=np.ascontiguousarray(act_scaled, dtype=np.int64),
         inverse_mapping=inverse_m,
         inverse_cache=inverse_c,
         dstreamed_dscale=dstreamed_dscale,
@@ -310,15 +322,13 @@ def compile_and_time_table(
     layer_overhead = np.ravel(config_table.layer_overhead_cycles)
     inference_overhead = np.ravel(config_table.inference_overhead_cycles)
     clock_hz = np.ravel(config_table.clock_hz)
+    batch = np.ravel(config_table.batch_size)
     params = energy_parameters_table(config_table)
     static_power = np.ravel(params.static_power_w)
 
-    # Config-independent per-layer energy terms (identical to the staged
-    # broadcasts because the pJ coefficients are shared by all configs).
-    mac_energy = _MAC_PJ * table.macs
-    sram_energy = _SRAM_BYTE_PJ * (
-        table.weight_bytes + table.input_activation_bytes + table.output_activation_bytes
-    )
+    # Config-independent per-layer MAC counts (the pJ coefficients are shared
+    # by all configs; the chunk loop applies them after the batch multiply).
+    macs = np.ascontiguousarray(table.macs, dtype=np.int64)
 
     latency_ms = np.empty((num_configs, num_models), dtype=np.float64)
     energy_mj = np.empty((num_configs, num_models), dtype=np.float64)
@@ -327,9 +337,13 @@ def compile_and_time_table(
         kernel = resolved.njit(_fused_rows_loop_nest, parallel=True)
         kernel(
             unique.compute_cycles,
-            unique.idle_energy,
-            unique.dram_bytes,
+            unique.idle_slots,
+            unique.stream_bytes,
+            unique.act_dram_bytes,
             unique.refill_bytes,
+            unique.sram_act_bytes,
+            macs,
+            batch,
             unique.inverse_mapping,
             unique.inverse_cache,
             sustained,
@@ -338,8 +352,6 @@ def compile_and_time_table(
             inference_overhead.astype(np.float64),
             clock_hz,
             static_power,
-            mac_energy,
-            sram_energy,
             np.asarray(table.model_offsets, dtype=np.int64),
             latency_ms,
             energy_mj,
@@ -349,14 +361,14 @@ def compile_and_time_table(
             unique,
             table,
             chunk,
+            batch,
             sustained,
             on_chip,
             layer_overhead,
             inference_overhead,
             clock_hz,
             static_power,
-            mac_energy,
-            sram_energy,
+            macs,
             sram_scale,
             latency_ms,
             energy_mj,
@@ -370,6 +382,7 @@ def compile_and_time_table(
             unique,
             table,
             chunk,
+            batch,
             sustained,
             on_chip,
             clock_hz,
@@ -383,33 +396,37 @@ def _fused_rows_numpy(
     unique: _UniqueLevelArrays,
     table: LayerTable,
     chunk: int,
+    batch: np.ndarray,
     sustained: np.ndarray,
     on_chip: np.ndarray,
     layer_overhead: np.ndarray,
     inference_overhead: np.ndarray,
     clock_hz: np.ndarray,
     static_power: np.ndarray,
-    mac_energy: np.ndarray,
-    sram_energy: np.ndarray,
+    macs: np.ndarray,
     sram_scale: float,
     latency_ms: np.ndarray,
     energy_mj: np.ndarray,
 ) -> None:
     """Chunked in-place numpy body of the fused kernel.
 
-    Four gather buffers and two float work buffers of shape ``(chunk, L)``
+    Six gather buffers and two float work buffers of shape ``(chunk, L)``
     are threaded through the whole timing+energy chain with ``out=`` kernels
     — no temporary of that shape is allocated inside the loop on the exact
-    (``sram_scale == 1``) path.
+    (``sram_scale == 1``) path.  All batch multiplies happen on the integer
+    gathers before the float coefficients touch them, preserving the staged
+    kernels' ``pj * int`` association order bit-for-bit.
     """
     num_configs = latency_ms.shape[0]
     num_layers = unique.compute_cycles.shape[-1]
     starts = table.segment_starts
 
     g_cycles = np.empty((chunk, num_layers), dtype=np.int64)
-    g_dram = np.empty((chunk, num_layers), dtype=np.int64)
+    g_stream = np.empty((chunk, num_layers), dtype=np.int64)
+    g_act = np.empty((chunk, num_layers), dtype=np.int64)
     g_refill = np.empty((chunk, num_layers), dtype=np.int64)
-    g_idle = np.empty((chunk, num_layers), dtype=np.float64)
+    g_idle = np.empty((chunk, num_layers), dtype=np.int64)
+    g_sram = np.empty((chunk, num_layers), dtype=np.int64)
     work_a = np.empty((chunk, num_layers), dtype=np.float64)
     work_b = np.empty((chunk, num_layers), dtype=np.float64)
     relaxed = sram_scale != 1.0
@@ -419,12 +436,19 @@ def _fused_rows_numpy(
         rows = slice(0, end - begin)
         rows_m = unique.inverse_mapping[begin:end]
         rows_c = unique.inverse_cache[begin:end]
+        b = batch[begin:end, None]
         np.take(unique.compute_cycles, rows_m, axis=0, out=g_cycles[rows])
-        np.take(unique.dram_bytes, rows_c, axis=0, out=g_dram[rows])
+        np.take(unique.stream_bytes, rows_c, axis=0, out=g_stream[rows])
+        np.take(unique.act_dram_bytes, rows_c, axis=0, out=g_act[rows])
         np.take(unique.refill_bytes, rows_c, axis=0, out=g_refill[rows])
-        np.take(unique.idle_energy, rows_m, axis=0, out=g_idle[rows])
-        cc = g_cycles[rows]
-        db = g_dram[rows]
+        np.take(unique.idle_slots, rows_m, axis=0, out=g_idle[rows])
+        np.take(unique.sram_act_bytes, rows_c, axis=0, out=g_sram[rows])
+
+        # Batched integer compute cycles and DRAM bytes, in place on the
+        # gathers: dram = stream + batch * act_dram, compute = batch * cycles.
+        cc = np.multiply(g_cycles[rows], b, out=g_cycles[rows])
+        db = np.multiply(g_act[rows], b, out=g_act[rows])
+        db += g_stream[rows]
         sus = sustained[begin:end, None]
         ocb = on_chip[begin:end, None]
 
@@ -454,9 +478,16 @@ def _fused_rows_numpy(
         )
 
         # Energy: same terms, same association order as layer_energy_table.
-        dynamic = np.add(mac_energy, g_idle[rows], out=work_b[rows])
-        dynamic += sram_energy
-        dynamic += np.multiply(db, _DRAM_BYTE_PJ, out=work_a[rows])
+        # SRAM bytes = stored weights (stream + refill) + batch * activations.
+        sram_b = np.multiply(g_sram[rows], b, out=g_sram[rows])
+        sram_b += g_stream[rows]
+        sram_b += g_refill[rows]
+        macs_b = np.multiply(macs, b, out=g_cycles[rows])
+        idle_b = np.multiply(g_idle[rows], b, out=g_idle[rows])
+        dynamic = np.multiply(macs_b, _MAC_PJ, out=work_a[rows])
+        dynamic += np.multiply(idle_b, _IDLE_LANE_PJ, out=work_b[rows])
+        dynamic += np.multiply(sram_b, _SRAM_BYTE_PJ, out=work_b[rows])
+        dynamic += np.multiply(db, _DRAM_BYTE_PJ, out=work_b[rows])
         dynamic *= _PJ_TO_MJ
         np.add(
             np.add.reduceat(dynamic, starts, axis=-1),
@@ -469,6 +500,7 @@ def _sensitivity_pass(
     unique: _UniqueLevelArrays,
     table: LayerTable,
     chunk: int,
+    batch: np.ndarray,
     sustained: np.ndarray,
     on_chip: np.ndarray,
     clock_hz: np.ndarray,
@@ -490,13 +522,15 @@ def _sensitivity_pass(
         end = min(begin + chunk, num_configs)
         rows_m = unique.inverse_mapping[begin:end]
         rows_c = unique.inverse_cache[begin:end]
-        cc = unique.compute_cycles[rows_m]
+        b = batch[begin:end, None]
+        cc = b * unique.compute_cycles[rows_m]
         d_stream = unique.dstreamed_dscale[rows_c]
         sus = sustained[begin:end, None]
         ocb = on_chip[begin:end, None]
         clock = clock_hz[begin:end, None]
 
-        dram_cycles = unique.dram_bytes[rows_c] / sus
+        dram_bytes = unique.stream_bytes[rows_c] + b * unique.act_dram_bytes[rows_c]
+        dram_cycles = dram_bytes / sus
         refill_cycles = unique.refill_bytes[rows_c] / ocb
         dram_mask = dram_cycles >= refill_cycles
         memory_mask = np.maximum(dram_cycles, refill_cycles) > cc
@@ -525,9 +559,13 @@ def _sensitivity_pass(
 
 def _fused_rows_loop_nest(
     compute_cycles_u,
-    idle_energy_u,
-    dram_bytes_u,
+    idle_slots_u,
+    stream_bytes_u,
+    act_dram_u,
     refill_bytes_u,
+    sram_act_u,
+    macs,
+    batch,
     inverse_mapping,
     inverse_cache,
     sustained,
@@ -536,8 +574,6 @@ def _fused_rows_loop_nest(
     inference_overhead,
     clock_hz,
     static_power,
-    mac_energy,
-    sram_energy,
     model_offsets,
     latency_ms,
     energy_mj,
@@ -548,13 +584,16 @@ def _fused_rows_loop_nest(
     indexing) and decorated lazily by the numba backend with
     ``@njit(parallel=True)``; as plain Python it computes the same values
     (sequential per-segment accumulation matches ``np.add.reduceat``), which
-    is how its semantics are tested where numba is not installed.
+    is how its semantics are tested where numba is not installed.  All batch
+    multiplies stay integer until the pJ coefficients apply, matching the
+    staged kernels' association order exactly.
     """
     num_configs = latency_ms.shape[0]
     num_models = model_offsets.shape[0] - 1
     for c in prange(num_configs):
         im = inverse_mapping[c]
         ic = inverse_cache[c]
+        b = batch[c]
         sus = sustained[c]
         ocb = on_chip[c]
         overhead = layer_overhead[c]
@@ -562,15 +601,21 @@ def _fused_rows_loop_nest(
             cycles_sum = 0.0
             energy_sum = 0.0
             for row in range(model_offsets[m], model_offsets[m + 1]):
-                dram_cycles = dram_bytes_u[ic, row] / sus
+                dram_bytes = stream_bytes_u[ic, row] + b * act_dram_u[ic, row]
+                dram_cycles = dram_bytes / sus
                 refill_cycles = refill_bytes_u[ic, row] / ocb
                 memory = max(dram_cycles, refill_cycles)
-                cycles_sum += max(float(compute_cycles_u[im, row]), memory) + overhead
+                cycles_sum += max(float(b * compute_cycles_u[im, row]), memory) + overhead
+                sram_bytes = (
+                    stream_bytes_u[ic, row]
+                    + refill_bytes_u[ic, row]
+                    + b * sram_act_u[ic, row]
+                )
                 energy_sum += (
-                    mac_energy[row]
-                    + idle_energy_u[im, row]
-                    + sram_energy[row]
-                    + _DRAM_BYTE_PJ * dram_bytes_u[ic, row]
+                    _MAC_PJ * (b * macs[row])
+                    + _IDLE_LANE_PJ * (b * idle_slots_u[im, row])
+                    + _SRAM_BYTE_PJ * sram_bytes
+                    + _DRAM_BYTE_PJ * dram_bytes
                 ) * _PJ_TO_MJ
             model_cycles = inference_overhead[c] + cycles_sum
             lat = model_cycles / clock_hz[c] * 1e3

@@ -12,6 +12,12 @@ a small fixed dispatch overhead:
 Weight streaming is double buffered against compute (as in the real device),
 hence the ``max`` rather than a sum.  The whole-model latency adds a fixed
 per-inference overhead covering host synchronization and input/output DMA.
+
+Latency is per *batched* inference: compute cycles and activation DRAM
+traffic scale with ``config.batch_size`` while weight streaming and cache
+refills are charged once per batch (the batch amortizes weight fetch).
+Activation byte counts are rescaled from the canonical int8 footprints by
+``config.activation_bits`` before they touch the roofline.
 """
 
 from __future__ import annotations
@@ -20,7 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..arch.config import AcceleratorConfig
+from ..arch.config import AcceleratorConfig, scaled_bytes
 from ..arch.interconnect import on_chip_bytes_per_cycle, sustained_bytes_per_cycle
 from ..compiler.schedule import CompiledLayer, CompiledModel, CompiledTable
 
@@ -48,8 +54,11 @@ class TimingTable:
 
 
 def activation_spill_bytes(layer: CompiledLayer, config: AcceleratorConfig) -> int:
-    """DRAM activation traffic of a layer whose working set overflows PE memory."""
-    working_set = layer.spec.input_activation_bytes + layer.spec.output_activation_bytes
+    """Per-image DRAM activation traffic when the working set overflows PE memory."""
+    working_set = scaled_bytes(
+        layer.spec.input_activation_bytes + layer.spec.output_activation_bytes,
+        config.activation_bits,
+    )
     if working_set > config.total_pe_memory_bytes:
         return working_set
     return 0
@@ -63,19 +72,22 @@ def time_layer(
     """Compute the :class:`LayerTiming` of one compiled layer.
 
     ``extra_dram_bytes`` lets the engine charge the model input/output tensors
-    to the first/last layer.
+    to the first/last layer; like the spill traffic it is per-image activation
+    data (already bit-width scaled) and is multiplied by the batch size, while
+    the weight stream and cache refill are charged once per batch.
     """
-    dram_bytes = layer.streamed_weight_bytes + activation_spill_bytes(layer, config)
-    dram_bytes += extra_dram_bytes
+    activation_dram = activation_spill_bytes(layer, config) + extra_dram_bytes
+    dram_bytes = layer.streamed_weight_bytes + config.batch_size * activation_dram
     refill_bytes = layer.cached_weight_bytes
+    compute_cycles = config.batch_size * layer.mapping.compute_cycles
 
     dram_cycles = dram_bytes / sustained_bytes_per_cycle(config) if dram_bytes else 0.0
     refill_cycles = refill_bytes / on_chip_bytes_per_cycle(config) if refill_bytes else 0.0
     memory_cycles = max(dram_cycles, refill_cycles)
 
-    total = max(layer.mapping.compute_cycles, memory_cycles) + config.layer_overhead_cycles
+    total = max(compute_cycles, memory_cycles) + config.layer_overhead_cycles
     return LayerTiming(
-        compute_cycles=layer.mapping.compute_cycles,
+        compute_cycles=compute_cycles,
         dram_bytes=dram_bytes,
         on_chip_refill_bytes=refill_bytes,
         memory_cycles=memory_cycles,
@@ -96,27 +108,30 @@ def time_layer_table(compiled: CompiledTable) -> TimingTable:
     table = compiled.table
     config = compiled.config
 
-    working_set = table.input_activation_bytes + table.output_activation_bytes
+    working_set = scaled_bytes(
+        table.input_activation_bytes + table.output_activation_bytes,
+        config.activation_bits,
+    )
     spill = np.where(working_set > config.total_pe_memory_bytes, working_set, 0)
 
-    extra = np.zeros(len(table), dtype=np.int64)
     first_rows = table.model_offsets[:-1]
     last_rows = table.model_offsets[1:] - 1
-    extra[first_rows] += table.input_activation_bytes[first_rows]
-    extra[last_rows] += table.output_activation_bytes[last_rows]
+    input_bytes = scaled_bytes(table.input_activation_bytes, config.activation_bits)
+    output_bytes = scaled_bytes(table.output_activation_bytes, config.activation_bits)
+    extra = np.zeros(spill.shape, dtype=np.int64)
+    extra[..., first_rows] += input_bytes[..., first_rows]
+    extra[..., last_rows] += output_bytes[..., last_rows]
 
-    dram_bytes = compiled.streamed_weight_bytes + spill + extra
+    dram_bytes = compiled.streamed_weight_bytes + config.batch_size * (spill + extra)
     refill_bytes = compiled.cached_weight_bytes
+    compute_cycles = config.batch_size * compiled.mapping.compute_cycles
     dram_cycles = dram_bytes / sustained_bytes_per_cycle(config)
     refill_cycles = refill_bytes / on_chip_bytes_per_cycle(config)
     memory_cycles = np.maximum(dram_cycles, refill_cycles)
 
-    total = (
-        np.maximum(compiled.mapping.compute_cycles, memory_cycles)
-        + config.layer_overhead_cycles
-    )
+    total = np.maximum(compute_cycles, memory_cycles) + config.layer_overhead_cycles
     return TimingTable(
-        compute_cycles=compiled.mapping.compute_cycles,
+        compute_cycles=compute_cycles,
         dram_bytes=dram_bytes,
         on_chip_refill_bytes=refill_bytes,
         memory_cycles=memory_cycles,
@@ -150,7 +165,15 @@ def cycles_to_milliseconds(cycles, config):
 
 
 def model_input_output_bytes(model: CompiledModel) -> tuple[int, int]:
-    """DRAM bytes for the model input image and the classifier output."""
+    """Per-image DRAM bytes for the model input image and the classifier output.
+
+    Scaled to the configuration's activation bit-width so the scalar engine's
+    ``extra_dram_bytes`` matches the table path exactly.
+    """
+    bits = model.config.activation_bits
     first = model.layers[0].spec
     last = model.layers[-1].spec
-    return first.input_activation_bytes, last.output_activation_bytes
+    return (
+        scaled_bytes(first.input_activation_bytes, bits),
+        scaled_bytes(last.output_activation_bytes, bits),
+    )

@@ -21,7 +21,7 @@ import pytest
 
 from repro.arch import get_config
 from repro.errors import ServiceError
-from repro.nasbench import NASBenchDataset
+from repro.nasbench import MacroSpec, NASBenchDataset, random_macro
 from repro.service import (
     MeasurementStore,
     SweepCoordinator,
@@ -281,6 +281,49 @@ class TestSweepWorker:
         publish(tmp_path, queue_dataset)
         with pytest.raises(ServiceError, match="strategy"):
             SweepWorker(tmp_path, strategy="warp-drive")
+
+
+class TestMacroManifest:
+    """Macro sweeps round-trip through the manifest and rebuild standalone."""
+
+    @pytest.fixture(scope="class")
+    def macro_dataset(self):
+        rng = np.random.default_rng(23)
+        return NASBenchDataset.from_macros([random_macro(rng) for _ in range(8)])
+
+    def test_shard_archs_round_trip_the_macro_specs(self, tmp_path, macro_dataset):
+        _, manifest = publish(tmp_path, macro_dataset, shard_size=4)
+        rebuilt = [
+            arch
+            for shard_index in range(manifest.num_shards)
+            for arch in manifest.shard_archs(shard_index)
+        ]
+        assert all(isinstance(arch, MacroSpec) for arch in rebuilt)
+        assert [arch.fingerprint for arch in rebuilt] == [
+            record.fingerprint for record in macro_dataset
+        ]
+
+    def test_worker_rebuilds_macros_bit_identically(self, tmp_path, macro_dataset):
+        reference = BatchSimulator().evaluate(
+            macro_dataset, configs=[get_config(name) for name in CONFIGS]
+        )
+        publish(tmp_path, macro_dataset, shard_size=4)
+        result = SweepWorker(tmp_path, owner="macro-solo", poll_seconds=0.05).run()
+        assert result.models_simulated == len(macro_dataset) * len(CONFIGS)
+        assert_store_matches_reference(
+            tmp_path, macro_dataset, reference, shard_size=4
+        )
+
+    def test_legacy_manifests_without_archs_still_load(self, tmp_path, queue_dataset):
+        # Manifests written before the macro release only carry "cells";
+        # shard_archs must fall back to them.
+        _, manifest = publish(tmp_path, queue_dataset)
+        for shard in manifest._payload["shards"]:
+            del shard["archs"]
+        archs = manifest.shard_archs(0)
+        assert [arch.to_dict() for arch in archs] == [
+            record.cell.to_dict() for record in queue_dataset.records[:SHARD]
+        ]
 
 
 class TestSweepCoordinator:
