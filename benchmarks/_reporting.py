@@ -100,6 +100,11 @@ def report_json(
     sizes the metrics were measured on (models, configs, ...), so a baseline
     diff can refuse to compare apples to oranges.  ``metrics`` holds
     non-gated context numbers.
+
+    When tracing is enabled (``REPRO_TRACE``), the payload additionally
+    carries an ``obs`` key with the run's per-span breakdown
+    (count / total / self time per span name), so a benchmark report doubles
+    as a per-stage profile.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     payload = {
@@ -111,6 +116,14 @@ def report_json(
         "population": {key: int(value) for key, value in (population or {}).items()},
         "metrics": {key: round(float(value), 4) for key, value in (metrics or {}).items()},
     }
+    try:
+        from repro import obs
+    except ImportError:  # benchmarks can run without the package installed
+        obs = None
+    if obs is not None:
+        breakdown = obs.span_breakdown()
+        if breakdown:
+            payload["obs"] = breakdown
     path = RESULTS_DIR / f"BENCH_{experiment}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"[bench-json] wrote {path}")

@@ -15,7 +15,11 @@ alternative:
 3. stand up a :class:`repro.SweepService` over the warm store and answer the
    evaluation-section queries from disk: top-k by accuracy, the Pareto
    frontier, latency/energy of a cell by fingerprint, and learned-model
-   predictions for cells that were never simulated.
+   predictions for cells that were never simulated;
+4. re-run the warm load under ``repro.obs`` tracing and print the merged
+   trace summary — the same view ``python -m repro.obs <dir>`` gives a
+   whole worker fleet (set ``REPRO_TRACE=1`` to trace this script end to
+   end instead).
 
 Run with:  python examples/sweep_service.py [num_models]
 """
@@ -24,7 +28,7 @@ import os
 import sys
 import time
 
-from repro import MeasurementStore, SweepService
+from repro import MeasurementStore, SweepService, obs, trace_summary
 from repro.core import TrainingSettings
 from repro.nasbench import NASBenchDataset, cell_fingerprint, sample_unique_cells
 
@@ -85,6 +89,23 @@ def main(num_models: int = 300) -> None:
     for cell, value in zip(unseen, predictions):
         print(f"  {cell_fingerprint(cell)[:12]:<14}{value:.3f} ms (predicted)")
     print(f"(3 predictions in {elapsed_ms:.1f} ms; weights cached in {STORE_DIR!r})")
+
+    # 4. Traced leg: the warm load again, under scoped tracing.  Stages become
+    #    spans, store accounting becomes counters, and the per-process JSONL
+    #    stream merges into the same fleet summary `python -m repro.obs` prints.
+    trace_dir = os.path.join(STORE_DIR, "traces")
+    with obs.capture(trace_dir):
+        warm = MeasurementStore(STORE_DIR, shard_size=64)
+        warm.load(dataset, configs=("V1", "V2", "V3"))
+    summary = trace_summary(trace_dir)
+    loaded = summary.counters.get("store.pairs_loaded", 0)
+    print(f"\ntraced warm load (streams in {trace_dir!r}):")
+    print(
+        f"  store.pairs_loaded counter = {loaded:.0f}"
+        f" (StoreStats agrees: {warm.stats.pairs_loaded})"
+    )
+    for line in summary.lines()[:6]:
+        print(f"  {line}")
 
 
 if __name__ == "__main__":

@@ -152,20 +152,27 @@ __all__ = [
     "get_backend",
     "get_config",
     "mutate_cell",
+    "obs",
     "run_experiment",
     "run_hardware_sweep",
     "run_search_experiment",
     "sample_unique_cells",
+    "trace_summary",
     "use_backend",
     "__version__",
 ]
 
 
 def __getattr__(name: str):
-    # Lazily resolved so ``python -m repro.service.worker`` (and ``.queue``)
-    # run those modules as ``__main__`` without being pre-imported here.
+    # Lazily resolved so ``python -m repro.service.worker`` (and ``.queue``,
+    # ``.obs``) run those modules as ``__main__`` without being pre-imported
+    # here.
     if name in ("SweepCoordinator", "SweepManifest", "SweepWorker"):
         from . import service
 
         return getattr(service, name)
+    if name in ("obs", "trace_summary"):
+        from . import obs
+
+        return obs if name == "obs" else obs.trace_summary
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

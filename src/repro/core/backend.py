@@ -36,7 +36,6 @@ from __future__ import annotations
 
 import importlib
 import os
-import warnings
 from contextlib import contextmanager
 from typing import Iterator
 
@@ -263,11 +262,18 @@ def _fallback_warning(requested: str) -> None:
     if _warned_fallback:
         return
     _warned_fallback = True
-    warnings.warn(
+    # Deferred import: this module resolves the backend at import time, before
+    # the ``repro`` package has finished initialising.
+    from .. import obs
+
+    obs.log(
+        "backend.fallback",
         f"{BACKEND_ENV}={requested!r} is not an available backend "
         f"(available: {', '.join(sorted(_BACKENDS))}); falling back to numpy",
-        RuntimeWarning,
-        stacklevel=3,
+        level="warning",
+        warn=True,
+        stacklevel=4,
+        requested=requested,
     )
 
 

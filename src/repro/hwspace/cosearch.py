@@ -31,6 +31,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..analysis.archive import ParetoArchive
 from ..arch.config import AcceleratorConfig
 from ..errors import DatasetError, SearchError
@@ -211,8 +212,12 @@ class _CellsOfConfig:
     def __contains__(self, cell: object) -> bool:
         if not isinstance(cell, (Cell, MacroSpec)):
             return False
+        obs.count("cosearch.candidates_checked")
         key = pair_key(cell, self._digest)
-        return key in self._seen or key in self._batch
+        hit = key in self._seen or key in self._batch
+        if hit:
+            obs.count("cosearch.dedup_rejects")
+        return hit
 
 
 def pair_key(cell: Cell | MacroSpec, digest: str) -> str:
@@ -274,8 +279,15 @@ class CoSearchEngine:
         rows: list[GenerationStats] = []
 
         for generation in range(spec.generations):
-            pairs = self._propose(generation, rng, seen, records, population, selection)
-            costs, accuracies = self._evaluate(pairs)
+            with obs.span("cosearch.generation", generation=generation):
+                with obs.span("cosearch.propose", generation=generation):
+                    pairs = self._propose(
+                        generation, rng, seen, records, population, selection
+                    )
+                with obs.span(
+                    "cosearch.evaluate", generation=generation, pairs=len(pairs)
+                ):
+                    costs, accuracies = self._evaluate(pairs)
 
             new_start = len(records)
             for (cell, config), cost, accuracy in zip(pairs, costs, accuracies):
@@ -495,6 +507,7 @@ class CoSearchEngine:
             return cell, parent.config
         except DatasetError:
             # Inject fresh diversity instead of stalling the generation.
+            obs.count("cosearch.random_fallbacks")
             return self._random_pair(rng, seen, batch_keys)
 
     def _random_pair(

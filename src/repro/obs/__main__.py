@@ -1,0 +1,51 @@
+"""CLI: summarize one trace or merge a fleet of per-worker traces.
+
+Usage::
+
+    python -m repro.obs <trace.jsonl | trace-dir>... [--json] [--output PATH]
+
+Each argument is a JSONL trace file or a directory of them (one file per
+worker process in a distributed drain).  All records merge into one fleet
+summary: span tree with count/total/mean/p95/self-time, fleet-summed
+counters, merged histograms with p50/p95/p99, and event counts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .summary import _resolve_files, trace_summary
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Summarize repro trace files (merging many into one fleet view).",
+    )
+    parser.add_argument("sources", nargs="+", help="trace .jsonl files and/or directories")
+    parser.add_argument("--json", action="store_true", help="emit the summary as JSON")
+    parser.add_argument("--output", type=Path, default=None, help="also write the summary here")
+    args = parser.parse_args(argv)
+
+    files = [path for path in _resolve_files(args.sources) if path.exists()]
+    if not files:
+        print("no trace files found", file=sys.stderr)
+        return 2
+    summary = trace_summary(files)
+    text = (
+        json.dumps(summary.to_dict(), indent=2, sort_keys=True)
+        if args.json
+        else "\n".join(summary.lines())
+    )
+    print(text)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(text + "\n", encoding="utf-8")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

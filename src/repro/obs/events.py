@@ -1,0 +1,91 @@
+"""Structured diagnostic events: the one API for warnings and CLI output.
+
+``log`` replaces the scattered ``warnings.warn``/``print`` diagnostics
+across the stack: every call records a structured JSONL event when tracing
+is enabled, and the call site chooses — independently — whether the message
+also surfaces as a Python warning (``warn=True``, optionally deduplicated
+once per ``once`` key) or on stdout (``echo=True``, for CLI entry points
+whose output is part of their contract).
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+
+from .tracer import active_tracer
+
+_once_lock = threading.Lock()
+_warned_once: set[str] = set()
+
+
+def log(
+    event: str,
+    message: str | None = None,
+    *,
+    level: str = "info",
+    warn: bool = False,
+    once: str | None = None,
+    echo: bool = False,
+    stacklevel: int = 3,
+    **attrs,
+) -> None:
+    """Record one structured event; optionally also warn and/or print.
+
+    The JSONL event is recorded on every call (when tracing is enabled),
+    even when the warning half is deduplicated — so a trace shows each
+    occurrence while the console shows each problem once.
+    """
+    active_tracer().event(event, level=level, message=message, **attrs)
+    if echo and message is not None:
+        print(message)
+    if warn and message is not None:
+        if once is not None:
+            with _once_lock:
+                if once in _warned_once:
+                    return
+                _warned_once.add(once)
+        warnings.warn(message, RuntimeWarning, stacklevel=stacklevel)
+
+
+def reset_once(key: str | None = None) -> None:
+    """Clear the warn-once latch (all keys, or just ``key``) — test helper."""
+    with _once_lock:
+        if key is None:
+            _warned_once.clear()
+        else:
+            _warned_once.discard(key)
+
+
+def guarded_progress(callback, *, origin: str = "sweep"):
+    """Wrap a user progress callback so its exceptions cannot abort a sweep.
+
+    A raising callback used to propagate out of ``BatchSimulator.evaluate``
+    / ``MeasurementStore.extend`` mid-shard, stranding claimed work.  The
+    wrapper catches everything, emits a ``progress_callback.error`` obs
+    event (plus one Python warning per callback), and lets the sweep
+    continue.  ``None`` passes through so call sites keep their
+    ``if callback is not None`` fast path.
+    """
+    if callback is None:
+        return None
+    if getattr(callback, "__repro_obs_guarded__", False):
+        return callback
+
+    def guarded(*args, **kwargs):
+        try:
+            callback(*args, **kwargs)
+        except Exception as exc:  # noqa: BLE001 - progress is best-effort by design
+            log(
+                "progress_callback.error",
+                f"progress callback {callback!r} raised {exc!r}; {origin} continues",
+                level="error",
+                warn=True,
+                once=f"progress-callback-{id(callback)}",
+                origin=origin,
+                error=repr(exc),
+            )
+            active_tracer().count("obs.progress_callback_errors")
+
+    guarded.__repro_obs_guarded__ = True
+    return guarded

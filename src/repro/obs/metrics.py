@@ -1,0 +1,167 @@
+"""Counters, gauges and fixed-bucket latency histograms."""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+# Geometric-ish millisecond buckets spanning sub-millisecond kernel chunks
+# up to minute-long distributed drains; the final bucket is an implicit
+# +inf overflow.  Fixed buckets keep merge trivial: histograms from
+# different workers add bucket-wise.
+DEFAULT_BUCKETS_MS = (
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1_000.0,
+    2_500.0,
+    5_000.0,
+    10_000.0,
+    30_000.0,
+    60_000.0,
+)
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated percentile estimates."""
+
+    __slots__ = ("buckets", "counts", "count", "total", "minimum", "maximum")
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS_MS) -> None:
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) by interpolating
+        linearly inside the bucket holding the target rank."""
+        if self.count == 0:
+            return float("nan")
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            lower = self.buckets[index - 1] if index > 0 else 0.0
+            upper = self.buckets[index] if index < len(self.buckets) else self.maximum
+            lower = max(lower, self.minimum) if cumulative == 0 else lower
+            upper = max(upper, lower)
+            if cumulative + bucket_count >= rank:
+                fraction = (rank - cumulative) / bucket_count
+                return lower + fraction * (upper - lower)
+            cumulative += bucket_count
+        return self.maximum  # pragma: no cover - rank always lands in a bucket
+
+    def merge(self, other: "Histogram") -> None:
+        if other.buckets != self.buckets:
+            raise ValueError("cannot merge histograms with different buckets")
+        for index, bucket_count in enumerate(other.counts):
+            self.counts[index] += bucket_count
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    def to_dict(self) -> dict:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Histogram":
+        histogram = cls(tuple(payload["buckets"]))
+        histogram.counts = [int(c) for c in payload["counts"]]
+        histogram.count = int(payload["count"])
+        histogram.total = float(payload["total"])
+        histogram.minimum = (
+            float(payload["min"]) if payload.get("min") is not None else float("inf")
+        )
+        histogram.maximum = (
+            float(payload["max"]) if payload.get("max") is not None else float("-inf")
+        )
+        return histogram
+
+    def summary(self) -> dict:
+        """Headline view: count/mean and interpolated p50/p95/p99."""
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.total / self.count,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+            "max": self.maximum,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe registry of counters, gauges and histograms."""
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS_MS) -> None:
+        self._buckets = buckets
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def count(self, name: str, value: float = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram(self._buckets)
+            histogram.observe(value)
+
+    def counter_value(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def histogram(self, name: str) -> Histogram | None:
+        with self._lock:
+            return self._histograms.get(name)
+
+    def snapshot(self) -> dict:
+        """Plain-dict copy of the registry state (for JSONL snapshots)."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    name: histogram.to_dict() for name, histogram in self._histograms.items()
+                },
+            }

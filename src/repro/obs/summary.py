@@ -1,0 +1,279 @@
+"""Aggregate one or many JSONL traces into a fleet-wide summary."""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .metrics import Histogram
+
+
+def _quantile(samples: list[float], q: float) -> float:
+    """Linear-interpolation quantile (matches numpy's default method)."""
+    if not samples:
+        return math.nan
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high:
+        return ordered[low]
+    return ordered[low] + (position - low) * (ordered[high] - ordered[low])
+
+
+@dataclass
+class SpanStats:
+    """Fleet-aggregated statistics for one span name."""
+
+    name: str
+    count: int = 0
+    total_ms: float = 0.0
+    cpu_ms: float = 0.0
+    self_ms: float = 0.0
+    samples: list[float] = field(default_factory=list, repr=False)
+    parents: Counter = field(default_factory=Counter, repr=False)
+
+    _MAX_SAMPLES = 100_000
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.count if self.count else math.nan
+
+    @property
+    def p95_ms(self) -> float:
+        return _quantile(self.samples, 0.95)
+
+    @property
+    def parent(self) -> str | None:
+        """Dominant parent span name (``None`` for root spans)."""
+        if not self.parents:
+            return None
+        return self.parents.most_common(1)[0][0]
+
+    def add(self, wall_ms: float, cpu_ms: float, self_ms: float, parent: str | None) -> None:
+        self.count += 1
+        self.total_ms += wall_ms
+        self.cpu_ms += cpu_ms
+        self.self_ms += self_ms
+        if len(self.samples) < self._MAX_SAMPLES:
+            self.samples.append(wall_ms)
+        self.parents[parent] += 1
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total_ms": round(self.total_ms, 3),
+            "mean_ms": round(self.mean_ms, 3),
+            "p95_ms": round(self.p95_ms, 3),
+            "cpu_ms": round(self.cpu_ms, 3),
+            "self_ms": round(self.self_ms, 3),
+            "parent": self.parent,
+        }
+
+
+@dataclass
+class TraceSummary:
+    """Merged view over one or many per-process trace streams.
+
+    Merge semantics (DESIGN.md §12): span and event lines are append-only
+    facts and simply aggregate; metrics snapshots are cumulative per
+    stream, so only the highest-``seq`` snapshot of each stream
+    contributes — counters then sum across streams, gauges keep the most
+    recent write, and fixed-bucket histograms add bucket-wise.
+    """
+
+    files: int = 0
+    streams: int = 0
+    spans: dict[str, SpanStats] = field(default_factory=dict)
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+    events: dict[str, int] = field(default_factory=dict)
+    events_by_level: dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        return {
+            "files": self.files,
+            "streams": self.streams,
+            "spans": {name: stats.to_dict() for name, stats in self._ordered_spans()},
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: self.histograms[name].summary() for name in sorted(self.histograms)
+            },
+            "events": dict(sorted(self.events.items())),
+            "events_by_level": dict(sorted(self.events_by_level.items())),
+        }
+
+    def lines(self) -> list[str]:
+        """Human-readable rendering: span tree, counters, histograms, events."""
+        out = [f"trace summary: {self.files} file(s), {self.streams} stream(s)"]
+        if self.spans:
+            out.append("spans (count / total / mean / p95 / self):")
+            children: dict[str | None, list[str]] = {}
+            for name, stats in self._ordered_spans():
+                parent = stats.parent if stats.parent in self.spans else None
+                children.setdefault(parent, []).append(name)
+            rendered: set[str] = set()
+
+            def render(name: str, depth: int) -> None:
+                if name in rendered:
+                    return
+                rendered.add(name)
+                stats = self.spans[name]
+                out.append(
+                    f"  {'  ' * depth}{name:<{max(40 - 2 * depth, 8)}} "
+                    f"{stats.count:>6}  {stats.total_ms:>10.1f}ms  "
+                    f"mean {stats.mean_ms:>8.2f}ms  p95 {stats.p95_ms:>8.2f}ms  "
+                    f"self {stats.self_ms:>10.1f}ms"
+                )
+                for child in children.get(name, []):
+                    render(child, depth + 1)
+
+            for root in children.get(None, []):
+                render(root, 0)
+            for name, _ in self._ordered_spans():  # orphans (cycles, truncation)
+                render(name, 0)
+        if self.counters:
+            out.append("counters:")
+            for name, value in sorted(self.counters.items()):
+                shown = int(value) if float(value).is_integer() else value
+                out.append(f"  {name:<44} {shown}")
+        if self.gauges:
+            out.append("gauges:")
+            for name, value in sorted(self.gauges.items()):
+                out.append(f"  {name:<44} {value:g}")
+        if self.histograms:
+            out.append("histograms (ms):")
+            for name in sorted(self.histograms):
+                s = self.histograms[name].summary()
+                if s["count"]:
+                    out.append(
+                        f"  {name:<44} count={s['count']} mean={s['mean']:.2f} "
+                        f"p50={s['p50']:.2f} p95={s['p95']:.2f} p99={s['p99']:.2f}"
+                    )
+        if self.events:
+            out.append("events:")
+            for name, value in sorted(self.events.items()):
+                out.append(f"  {name:<44} {value}")
+        return out
+
+    def _ordered_spans(self):
+        return sorted(self.spans.items(), key=lambda item: -item[1].total_ms)
+
+
+# ---------------------------------------------------------------------- #
+def _resolve_files(sources) -> list[Path]:
+    if isinstance(sources, (str, Path)):
+        sources = [sources]
+    files: list[Path] = []
+    for source in sources:
+        path = Path(source)
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.jsonl")))
+        else:
+            files.append(path)
+    return files
+
+
+def read_trace(sources) -> list[dict]:
+    """Parse trace records from files/directories, tolerating a truncated
+    final line (the one a ``SIGKILL`` may have cut mid-write)."""
+    records: list[dict] = []
+    for path in _resolve_files(sources):
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict):
+                    record["_file"] = str(path)
+                    records.append(record)
+    return records
+
+
+def trace_summary(sources) -> TraceSummary:
+    """Summarize trace files, directories, or pre-parsed record iterables.
+
+    Accepts a path, a list of paths/directories, or an iterable of record
+    dicts (as from :func:`read_trace`); many per-worker traces merge into
+    one fleet view.
+    """
+    if isinstance(sources, (str, Path)):
+        records = read_trace([sources])
+    elif sources and all(isinstance(item, dict) for item in sources):
+        records = list(sources)
+    else:
+        records = read_trace(sources)
+
+    summary = TraceSummary()
+    summary.files = len({record.get("_file") for record in records if "_file" in record})
+
+    # Pass 1: per-process span-id → name maps (rotated files of the same
+    # process share pid + ids, so group by (host-of-file, pid)).
+    file_host: dict[str, str] = {}
+    for record in records:
+        if record.get("t") == "meta":
+            file_host[record.get("_file", "")] = record.get("host", "unknown")
+    id_names: dict[tuple, str] = {}
+    for record in records:
+        if record.get("t") == "span":
+            host = file_host.get(record.get("_file", ""), "unknown")
+            id_names[(host, record.get("pid"), record.get("id"))] = record["name"]
+
+    latest_metrics: dict[str, dict] = {}
+    for record in records:
+        kind = record.get("t")
+        if kind == "span":
+            host = file_host.get(record.get("_file", ""), "unknown")
+            parent = id_names.get((host, record.get("pid"), record.get("parent")))
+            stats = summary.spans.get(record["name"])
+            if stats is None:
+                stats = summary.spans[record["name"]] = SpanStats(record["name"])
+            stats.add(
+                record.get("wall_ms", 0.0),
+                record.get("cpu_ms", 0.0),
+                record.get("self_ms", 0.0),
+                parent,
+            )
+        elif kind == "event":
+            name = record.get("name", "?")
+            summary.events[name] = summary.events.get(name, 0) + 1
+            level = record.get("level", "info")
+            summary.events_by_level[level] = summary.events_by_level.get(level, 0) + 1
+        elif kind == "metrics":
+            stream = record.get("stream") or f"pid-{record.get('pid')}"
+            best = latest_metrics.get(stream)
+            if best is None or record.get("seq", 0) >= best.get("seq", 0):
+                latest_metrics[stream] = record
+
+    summary.streams = len(latest_metrics) or len(
+        {record.get("stream") for record in records if record.get("t") == "meta"}
+    )
+    gauge_ts: dict[str, float] = {}
+    for record in latest_metrics.values():
+        for name, value in (record.get("counters") or {}).items():
+            summary.counters[name] = summary.counters.get(name, 0) + value
+        ts = record.get("ts", 0.0)
+        for name, value in (record.get("gauges") or {}).items():
+            if ts >= gauge_ts.get(name, -math.inf):
+                summary.gauges[name] = value
+                gauge_ts[name] = ts
+        for name, payload in (record.get("histograms") or {}).items():
+            histogram = Histogram.from_dict(payload)
+            existing = summary.histograms.get(name)
+            if existing is None:
+                summary.histograms[name] = histogram
+            else:
+                existing.merge(histogram)
+    return summary

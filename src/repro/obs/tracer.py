@@ -1,0 +1,383 @@
+"""Hierarchical span tracer with a free-when-off no-op default."""
+
+from __future__ import annotations
+
+import atexit
+import contextlib
+import functools
+import os
+import threading
+import time
+from pathlib import Path
+
+from .metrics import DEFAULT_BUCKETS_MS, MetricsRegistry
+from .sink import DEFAULT_MAX_BYTES, JsonlSink
+
+TRACE_ENV = "REPRO_TRACE"
+TRACE_DIR_ENV = "REPRO_TRACE_DIR"
+DEFAULT_TRACE_DIR = "repro-trace"
+_FALSEY = {"", "0", "false", "off", "no"}
+_TRUTHY = {"1", "true", "on", "yes"}
+
+
+class _NoopSpan:
+    """Shared do-nothing span; ``set()`` accepts attributes and drops them."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+class NoopTracer:
+    """Default tracer: every operation is a constant-time no-op.
+
+    Instrumented call sites pay one attribute lookup and one cheap method
+    call, so hot paths run within noise of uninstrumented code (the bound
+    is enforced by ``benchmarks/bench_obs_overhead.py``).
+    """
+
+    enabled = False
+    _NOOP_SPAN = _NoopSpan()
+
+    def span(self, name: str, **attrs) -> _NoopSpan:
+        return self._NOOP_SPAN
+
+    def count(self, name: str, value: float = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def event(self, name: str, level: str = "info", message: str | None = None, **attrs) -> None:
+        pass
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def span_aggregates(self) -> dict:
+        return {}
+
+
+NOOP_TRACER = NoopTracer()
+
+
+class _Span:
+    """Live span handle: context manager measuring wall + process CPU time."""
+
+    __slots__ = (
+        "_tracer",
+        "name",
+        "attrs",
+        "span_id",
+        "parent_id",
+        "depth",
+        "child_wall",
+        "_wall0",
+        "_cpu0",
+        "_ts",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = 0
+        self.parent_id = 0
+        self.depth = 0
+        self.child_wall = 0.0
+        self._wall0 = 0.0
+        self._cpu0 = 0.0
+        self._ts = 0.0
+
+    def set(self, **attrs) -> None:
+        """Attach attributes discovered mid-span (e.g. row counts)."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_Span":
+        self._tracer._push(self)
+        self._ts = time.time()
+        self._cpu0 = time.process_time()
+        self._wall0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        wall = time.perf_counter() - self._wall0
+        cpu = time.process_time() - self._cpu0
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self._tracer._pop(self, wall, cpu)
+        return False
+
+
+class Tracer:
+    """Recording tracer: hierarchical spans, metrics and events → JSONL.
+
+    Span records carry wall-clock and process-CPU duration, the explicit
+    parent/depth chain (thread-local stacks, so threads nest independently)
+    and a precomputed ``self_ms`` — wall time minus the wall time of direct
+    children — which makes the summary tree robust even when traces are
+    truncated mid-run.  ``process_time`` is process-wide, so concurrent
+    threads inflate each other's ``cpu_ms``; wall time is the quantity the
+    summary tree reasons about.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS_MS,
+    ) -> None:
+        self.directory = Path(directory)
+        self._stream = os.urandom(4).hex()
+        self._sink = JsonlSink(self.directory, max_bytes=max_bytes, stream=self._stream)
+        self.metrics = MetricsRegistry(buckets)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self._seq = 0
+        self._aggregates: dict[str, dict] = {}
+        self.event_counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def path(self) -> Path:
+        """Active trace file for this process."""
+        return self._sink.path
+
+    def span(self, name: str, **attrs) -> _Span:
+        return _Span(self, name, attrs)
+
+    def count(self, name: str, value: float = 1) -> None:
+        self.metrics.count(name, value)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.metrics.gauge(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.metrics.observe(name, value)
+
+    def event(self, name: str, level: str = "info", message: str | None = None, **attrs) -> None:
+        with self._lock:
+            self.event_counts[name] = self.event_counts.get(name, 0) + 1
+        record = {
+            "t": "event",
+            "name": name,
+            "level": level,
+            "ts": time.time(),
+            "pid": os.getpid(),
+        }
+        if message is not None:
+            record["message"] = message
+        if attrs:
+            record["attrs"] = attrs
+        self._sink.write(record)
+
+    def flush(self) -> None:
+        """Write a metrics snapshot line and flush the sink.
+
+        Snapshots are cumulative; the merge keeps only the highest-``seq``
+        snapshot per stream, so flushing often (e.g. once per completed
+        pair in a worker) bounds how much telemetry a ``SIGKILL`` loses.
+        """
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+        snapshot = self.metrics.snapshot()
+        record = {
+            "t": "metrics",
+            "seq": seq,
+            "ts": time.time(),
+            "pid": os.getpid(),
+            "stream": self._stream,
+            "events": dict(self.event_counts),
+        }
+        record.update(snapshot)
+        self._sink.write(record)
+
+    def close(self) -> None:
+        self.flush()
+        self._sink.close()
+
+    def span_aggregates(self) -> dict:
+        """Per-span in-process totals: name → count/total_ms/self_ms."""
+        with self._lock:
+            return {
+                name: {
+                    "count": agg["count"],
+                    "total_ms": round(agg["total_ms"], 3),
+                    "self_ms": round(agg["self_ms"], 3),
+                }
+                for name, agg in self._aggregates.items()
+            }
+
+    # ------------------------------------------------------------------ #
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: _Span) -> None:
+        stack = self._stack()
+        with self._lock:
+            span.span_id = self._next_id
+            self._next_id += 1
+        if stack:
+            span.parent_id = stack[-1].span_id
+            span.depth = len(stack)
+        stack.append(span)
+
+    def _pop(self, span: _Span, wall: float, cpu: float) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        if stack:
+            stack[-1].child_wall += wall
+        wall_ms = wall * 1e3
+        self_ms = max(wall - span.child_wall, 0.0) * 1e3
+        record = {
+            "t": "span",
+            "name": span.name,
+            "ts": span._ts,
+            "wall_ms": round(wall_ms, 6),
+            "cpu_ms": round(cpu * 1e3, 6),
+            "self_ms": round(self_ms, 6),
+            "id": span.span_id,
+            "parent": span.parent_id,
+            "depth": span.depth,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+        }
+        if span.attrs:
+            record["attrs"] = span.attrs
+        with self._lock:
+            agg = self._aggregates.get(span.name)
+            if agg is None:
+                agg = self._aggregates[span.name] = {
+                    "count": 0,
+                    "total_ms": 0.0,
+                    "self_ms": 0.0,
+                }
+            agg["count"] += 1
+            agg["total_ms"] += wall_ms
+            agg["self_ms"] += self_ms
+        self._sink.write(record)
+
+
+# ---------------------------------------------------------------------- #
+# Active-tracer management.
+# ---------------------------------------------------------------------- #
+_active: NoopTracer | Tracer | None = None
+_active_lock = threading.Lock()
+
+
+def _close_active_at_exit() -> None:
+    # Environment-resolved tracers have no scoped owner (unlike ``capture``),
+    # so the final metrics snapshot of a plain ``REPRO_TRACE=1 python ...``
+    # run is written here; closing is idempotent and the no-op tracer ignores
+    # it.  The pid guard keeps forked children from flushing the parent's
+    # registry through an inherited exit hook.
+    tracer = _active
+    if tracer is not None and tracer.enabled and os.getpid() == _resolved_pid:
+        tracer.close()
+
+
+_resolved_pid = os.getpid()
+atexit.register(_close_active_at_exit)
+
+
+def _from_environment() -> NoopTracer | Tracer:
+    raw = os.environ.get(TRACE_ENV, "").strip()
+    if raw.lower() in _FALSEY:
+        return NOOP_TRACER
+    if raw.lower() in _TRUTHY:
+        directory = os.environ.get(TRACE_DIR_ENV, DEFAULT_TRACE_DIR)
+    else:
+        directory = raw
+    return Tracer(directory)
+
+
+def active_tracer() -> NoopTracer | Tracer:
+    """The process-wide tracer, resolved lazily from ``REPRO_TRACE``."""
+    global _active
+    tracer = _active
+    if tracer is None:
+        with _active_lock:
+            if _active is None:
+                _active = _from_environment()
+            tracer = _active
+    return tracer
+
+
+def configure_tracing(target: bool | str | Path | None = None) -> NoopTracer | Tracer:
+    """Explicitly (re)configure tracing, overriding the environment.
+
+    ``None``/``False`` installs the no-op tracer; ``True`` resolves the
+    directory from the environment (defaulting to ``repro-trace/``); a
+    path installs a recording tracer writing there.  Any previously active
+    recording tracer is flushed and closed.
+    """
+    global _active
+    with _active_lock:
+        previous = _active
+        if previous is not None and previous.enabled:
+            previous.close()
+        if target is None or target is False:
+            _active = NOOP_TRACER
+        elif target is True:
+            _active = Tracer(os.environ.get(TRACE_DIR_ENV, DEFAULT_TRACE_DIR))
+        else:
+            _active = Tracer(target)
+        return _active
+
+
+@contextlib.contextmanager
+def capture(directory: str | Path, **kwargs):
+    """Record into ``directory`` for the duration of a block (test helper).
+
+    Restores the previously active tracer on exit; the recording tracer is
+    flushed and closed so the trace files are complete when the block ends.
+    """
+    global _active
+    with _active_lock:
+        previous = _active
+        tracer = Tracer(directory, **kwargs)
+        _active = tracer
+    try:
+        yield tracer
+    finally:
+        with _active_lock:
+            tracer.close()
+            _active = previous
+
+
+def traced(name: str | None = None, **attrs):
+    """Decorator tracing every call of the wrapped function as one span."""
+
+    def decorate(fn):
+        label = name or f"{fn.__module__.rsplit('.', 1)[-1]}.{fn.__qualname__}"
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with active_tracer().span(label, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -16,6 +16,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable
 
+from .. import obs
 from ..errors import PipelineError
 from ..hwspace.frontier import COST_PROXIES, ConfigPoint, HardwareFrontier
 from ..hwspace.space import AcceleratorSpace
@@ -96,7 +97,8 @@ def run_hardware_sweep(
             enable_parameter_caching=experiment.enable_parameter_caching,
             prefix=f"hwsweep-{experiment.sweep_key()}",
         )
-    dataset = experiment.population.build()
+    with obs.span("hwsweep.build", models=experiment.population.num_models):
+        dataset = experiment.population.build()
     frontier = HardwareFrontier(
         dataset,
         store=store,
@@ -104,16 +106,21 @@ def run_hardware_sweep(
         min_accuracy=experiment.min_accuracy,
     )
     configs = list(experiment.space.enumerate())
-    measurements = frontier.sweep(configs, n_jobs=n_jobs, progress_callback=progress_callback)
+    with obs.span("hwsweep.sweep", configs=len(configs), models=len(dataset)):
+        measurements = frontier.sweep(
+            configs, n_jobs=n_jobs, progress_callback=progress_callback
+        )
     if compact:
         if store is None:
             raise PipelineError("compact=True requires a cache_dir to compact into")
-        store.compact(dataset, configs=configs)
-    points = frontier.summarize(configs, measurements)
-    frontiers = {
-        cost: frontier.pareto(points, metric="mean_latency_ms", cost=cost)
-        for cost in COST_PROXIES
-    }
+        with obs.span("hwsweep.compact"):
+            store.compact(dataset, configs=configs)
+    with obs.span("hwsweep.frontier", points=len(configs)):
+        points = frontier.summarize(configs, measurements)
+        frontiers = {
+            cost: frontier.pareto(points, metric="mean_latency_ms", cost=cost)
+            for cost in COST_PROXIES
+        }
     return HardwareSweepResult(
         experiment=experiment,
         points=points,

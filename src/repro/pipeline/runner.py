@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
+from .. import obs
 from ..arch.config import get_config
 from ..core.graph_table import GraphTable
 from ..core.metrics import EstimationReport
@@ -129,7 +130,8 @@ def run_experiment(
     say = progress or (lambda message: None)
 
     say(f"sampling population ({experiment.population.num_models} models)")
-    dataset = experiment.population.build()
+    with obs.span("pipeline.sample", models=experiment.population.num_models):
+        dataset = experiment.population.build()
 
     cache = ExperimentCache(Path(cache_dir)) if cache_dir is not None else None
     configs = [get_config(name) for name in experiment.config_names]
@@ -145,7 +147,8 @@ def run_experiment(
             enable_parameter_caching=experiment.enable_parameter_caching,
         )
         say(f"labeling population on {len(configs)} configurations (sharded sweep)")
-        measurements = simulator.evaluate(dataset, configs=configs, store=store)
+        with obs.span("pipeline.label", configs=len(configs), models=len(dataset)):
+            measurements = simulator.evaluate(dataset, configs=configs, store=store)
         if store.stats.pairs_simulated == 0:
             cache.stats.measurement_hits += 1
             say("labeling: measurement store hit (every shard on disk)")
@@ -156,7 +159,8 @@ def run_experiment(
                 f"{store.stats.pairs_loaded} (shard, config) pairs"
             )
         if compact:
-            result = store.compact(dataset, configs=configs)
+            with obs.span("pipeline.compact"):
+                result = store.compact(dataset, configs=configs)
             say(
                 f"compacted {result.pairs} (shard, config) pairs into "
                 f"{result.data_path.name} ({result.loose_removed} loose files removed)"
@@ -165,10 +169,12 @@ def run_experiment(
         if compact:
             raise PipelineError("compact=True requires a cache_dir to compact into")
         say(f"labeling population on {len(configs)} configurations (vectorized sweep)")
-        measurements = simulator.evaluate(dataset, configs=configs)
+        with obs.span("pipeline.label", configs=len(configs), models=len(dataset)):
+            measurements = simulator.evaluate(dataset, configs=configs)
 
     say("packing graph table")
-    table = GraphTable.from_cells([record.cell for record in dataset])
+    with obs.span("pipeline.pack", models=len(dataset)):
+        table = GraphTable.from_cells([record.cell for record in dataset])
 
     models: dict[tuple[str, str], GridCellResult] = {}
     skipped: list[tuple[str, str, str]] = []
@@ -198,7 +204,13 @@ def run_experiment(
                 from_cache = True
             else:
                 say(f"training {config_name}/{metric} ({experiment.settings.epochs} epochs)")
-                model.fit_table(table, targets)
+                with obs.span(
+                    "pipeline.train",
+                    config=config_name,
+                    metric=metric,
+                    epochs=experiment.settings.epochs,
+                ):
+                    model.fit_table(table, targets)
                 if cache is not None:
                     cache.save_model_state(key, model.export_state())
                 from_cache = False

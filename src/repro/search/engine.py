@@ -27,6 +27,7 @@ from typing import Callable, Iterable
 
 import numpy as np
 
+from .. import obs
 from ..analysis.archive import ParetoArchive
 from ..arch.config import get_config
 from ..arch.energy import energy_parameters_for
@@ -90,13 +91,22 @@ def selection_scores(
 
 
 class _Union:
-    """Membership over several containers, without materializing their union."""
+    """Membership over several containers, without materializing their union.
+
+    Every membership probe is one candidate the mutation loop tried; a hit is
+    one duplicate it rejected — counted here so the obs counters see every
+    attempt, not just the survivors the engine returns.
+    """
 
     def __init__(self, *containers: Iterable):
         self._containers = containers
 
     def __contains__(self, item: object) -> bool:
-        return any(item in container for container in self._containers)
+        obs.count("search.candidates_checked")
+        hit = any(item in container for container in self._containers)
+        if hit:
+            obs.count("search.dedup_rejects")
+        return hit
 
 
 class SearchEngine:
@@ -188,57 +198,64 @@ class SearchEngine:
         rows: list[GenerationStats] = []
 
         for generation in range(spec.generations):
-            candidates = self._propose(
-                generation, rng, seen, records, population, selection,
-                dataset, measurements,
-            )
-            for cell in candidates:
-                seen.add(cell)
-                records.append(self._record(cell, len(records)))
-            dataset = NASBenchDataset(records, self.network_config)
-            measurements = self.store.extend(dataset, configs=[self._config])
+            with obs.span(
+                "search.generation", generation=generation, strategy=spec.strategy
+            ):
+                with obs.span("search.propose", generation=generation):
+                    candidates = self._propose(
+                        generation, rng, seen, records, population, selection,
+                        dataset, measurements,
+                    )
+                for cell in candidates:
+                    seen.add(cell)
+                    records.append(self._record(cell, len(records)))
+                dataset = NASBenchDataset(records, self.network_config)
+                with obs.span(
+                    "search.simulate", generation=generation, models=len(records)
+                ):
+                    measurements = self.store.extend(dataset, configs=[self._config])
 
-            costs = (
-                measurements.latencies(spec.config_name)
-                if spec.metric == "latency"
-                else measurements.energies(spec.config_name)
-            )
-            accuracies = dataset.accuracies()
-            objective = np.where(
-                np.isfinite(costs) & (accuracies >= spec.min_accuracy), costs, np.inf
-            )
-            selection = selection_scores(costs, accuracies, spec.min_accuracy)
-            new_slice = slice(len(records) - len(candidates), len(records))
-            population.extend(range(new_slice.start, new_slice.stop))
-
-            if archive is None:
-                archive = self._make_archive(costs)
-            admitted = archive.update_many(
-                candidates,
-                np.where(accuracies[new_slice] >= spec.min_accuracy,
-                         costs[new_slice], np.inf),
-                accuracies[new_slice],
-                generation=generation,
-            )
-            hypervolume = archive.checkpoint()
-            generation_best = float(np.min(objective[new_slice]))
-            best_index = int(np.argmin(objective))
-            rows.append(
-                GenerationStats(
-                    generation=generation,
-                    evaluated=len(candidates),
-                    feasible=int(np.isfinite(objective[new_slice]).sum()),
-                    generation_best=generation_best,
-                    best_objective=float(objective[best_index]),
-                    hypervolume=hypervolume,
-                    admitted=admitted,
+                costs = (
+                    measurements.latencies(spec.config_name)
+                    if spec.metric == "latency"
+                    else measurements.energies(spec.config_name)
                 )
-            )
-            say(
-                f"generation {generation}: evaluated {len(candidates)}, "
-                f"best {float(objective[best_index]):.4f}, "
-                f"front {len(archive)} (hv {hypervolume:.5f})"
-            )
+                accuracies = dataset.accuracies()
+                objective = np.where(
+                    np.isfinite(costs) & (accuracies >= spec.min_accuracy), costs, np.inf
+                )
+                selection = selection_scores(costs, accuracies, spec.min_accuracy)
+                new_slice = slice(len(records) - len(candidates), len(records))
+                population.extend(range(new_slice.start, new_slice.stop))
+
+                if archive is None:
+                    archive = self._make_archive(costs)
+                admitted = archive.update_many(
+                    candidates,
+                    np.where(accuracies[new_slice] >= spec.min_accuracy,
+                             costs[new_slice], np.inf),
+                    accuracies[new_slice],
+                    generation=generation,
+                )
+                hypervolume = archive.checkpoint()
+                generation_best = float(np.min(objective[new_slice]))
+                best_index = int(np.argmin(objective))
+                rows.append(
+                    GenerationStats(
+                        generation=generation,
+                        evaluated=len(candidates),
+                        feasible=int(np.isfinite(objective[new_slice]).sum()),
+                        generation_best=generation_best,
+                        best_objective=float(objective[best_index]),
+                        hypervolume=hypervolume,
+                        admitted=admitted,
+                    )
+                )
+                say(
+                    f"generation {generation}: evaluated {len(candidates)}, "
+                    f"best {float(objective[best_index]):.4f}, "
+                    f"front {len(archive)} (hv {hypervolume:.5f})"
+                )
 
         assert dataset is not None and measurements is not None
         assert objective is not None and archive is not None
@@ -302,7 +319,8 @@ class SearchEngine:
             # serve from it instead of re-reading every history shard.
             measurements=measurements,
         )
-        predicted = service.predict(pool, spec.config_name, spec.metric)
+        with obs.span("search.predict_screen", pool=len(pool)):
+            predicted = service.predict(pool, spec.config_name, spec.metric)
         # Accuracy is an oracle lookup (no simulation), so the pre-screen can
         # apply the same feasibility penalty parent selection uses.
         pool_accuracies = np.array([self._accuracy_of(cell) for cell in pool])
@@ -357,6 +375,7 @@ class SearchEngine:
         except DatasetError:
             # The parent's neighborhood is exhausted (tiny cells, long runs):
             # inject fresh diversity instead of stalling the generation.
+            obs.count("search.random_fallbacks")
             return self._random_unique(rng, seen, batch_set)
 
     def _random_batch(

@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Sequence
 
+from .. import obs
 from ..arch.config import AcceleratorConfig
 from ..errors import ServiceError
 from ..nasbench.cell import Cell
@@ -415,6 +416,7 @@ class WorkQueue:
             claimed_at=time.time(),
         )
         if _create_exclusive(lease.path, lease.payload()):
+            obs.log("queue.claim", pair=pair.pair_id, owner=owner)
             return lease
         if self.lease_state(pair) == "orphaned":
             return self._try_steal(lease)
@@ -432,6 +434,7 @@ class WorkQueue:
         current = _read_json(lease.path)
         if current is not None and current.get("owner") == lease.owner:
             lease.stolen = True
+            obs.log("queue.steal", pair=lease.pair.pair_id, owner=lease.owner)
             return lease
         return None
 
@@ -440,6 +443,12 @@ class WorkQueue:
         current = _read_json(lease.path)
         if current is None or current.get("owner") != lease.owner:
             lease.lost = True
+            obs.log(
+                "queue.renew_lost",
+                level="warning",
+                pair=lease.pair.pair_id,
+                owner=lease.owner,
+            )
             return False
         _write_json_atomic(lease.path, lease.payload())
         return True
@@ -454,6 +463,7 @@ class WorkQueue:
         current = _read_json(lease.path)
         if current is None or current.get("owner") == lease.owner:
             lease.path.unlink(missing_ok=True)
+            obs.log("queue.release", pair=lease.pair.pair_id, owner=lease.owner)
 
     # ------------------------------------------------------------------ #
     # Worker reports
@@ -485,6 +495,11 @@ class WorkerStatus:
     models_simulated: int
     pairs_per_second: float
     seconds_since_heartbeat: float
+    leases_stolen: int = 0
+    leases_lost: int = 0
+    #: Path of the worker's JSONL trace stream, when it ran with tracing on
+    #: (merge the fleet's with ``python -m repro.obs``).
+    trace: str | None = None
 
 
 @dataclass(frozen=True)
@@ -511,12 +526,15 @@ class QueueProgress:
             f"{self.pairs_leased} leased, {self.pairs_orphaned} orphaned"
         ]
         for worker in self.workers:
-            lines.append(
+            line = (
                 f"  {worker.owner}: {worker.pairs_completed} pairs "
                 f"({worker.models_simulated} models, "
                 f"{worker.pairs_per_second:.2f} pairs/s, heartbeat "
                 f"{worker.seconds_since_heartbeat:.1f}s ago)"
             )
+            if worker.leases_stolen or worker.leases_lost:
+                line += f" [{worker.leases_stolen} stolen, {worker.leases_lost} lost]"
+            lines.append(line)
         return "\n".join(lines)
 
 
@@ -558,6 +576,9 @@ class SweepCoordinator:
                     models_simulated=int(report.get("models_simulated", 0)),
                     pairs_per_second=completed / elapsed,
                     seconds_since_heartbeat=max(now - heartbeat, 0.0),
+                    leases_stolen=int(report.get("leases_stolen", 0)),
+                    leases_lost=int(report.get("leases_lost", 0)),
+                    trace=report.get("trace"),
                 )
             )
         return QueueProgress(
@@ -611,8 +632,15 @@ def _main(argv: Sequence[str] | None = None) -> int:  # pragma: no cover - CLI
     manifest = SweepManifest.find(args.store_dir, digest=args.manifest)
     coordinator = SweepCoordinator(args.store_dir, manifest=manifest, expiry_seconds=args.expiry)
     progress = coordinator.progress()
-    print(f"manifest {manifest.digest} ({manifest.num_shards} shards)")
-    print(progress.summary())
+    obs.log(
+        "queue.status",
+        f"manifest {manifest.digest} ({manifest.num_shards} shards)\n"
+        + progress.summary(),
+        echo=True,
+        pairs_done=progress.pairs_done,
+        pairs_total=progress.pairs_total,
+        pairs_orphaned=progress.pairs_orphaned,
+    )
     return 0 if progress.complete else 1
 
 

@@ -45,6 +45,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..arch.config import STUDIED_CONFIGS, AcceleratorConfig, get_config
 from ..errors import ServiceError
 from ..nasbench.dataset import NASBenchDataset
@@ -97,6 +98,13 @@ def read_npz(path: Path) -> dict[str, np.ndarray] | None:
             path.replace(quarantine)
         except OSError:  # pragma: no cover - racing readers; either one wins
             pass
+        obs.log(
+            "store.quarantine",
+            f"quarantined corrupt npz {path.name}; treating as a miss",
+            level="warning",
+            path=str(path),
+        )
+        obs.count("store.pairs_quarantined")
         return None
 
 
@@ -205,6 +213,20 @@ class MeasurementStore:
         self._compact_data: dict[Path, np.ndarray] = {}
 
     # ------------------------------------------------------------------ #
+    # Bookkeeping
+    # ------------------------------------------------------------------ #
+    def _tally(self, **deltas: int) -> None:
+        """Increment :class:`StoreStats` fields and their mirror counters.
+
+        The obs counters (``store.pairs_loaded`` etc.) are incremented at
+        the same call site as the stats fields, so a merged fleet trace is
+        guaranteed to agree with ``StoreStats`` exactly.
+        """
+        for name, delta in deltas.items():
+            setattr(self.stats, name, getattr(self.stats, name) + delta)
+            obs.count(f"store.{name}", delta)
+
+    # ------------------------------------------------------------------ #
     # Shard layout and keying
     # ------------------------------------------------------------------ #
     def shard_ranges(self, num_models: int) -> list[tuple[int, int]]:
@@ -272,8 +294,11 @@ class MeasurementStore:
 
         *progress_callback* receives ``(config_name, done_models, total)``
         per completed shard (loaded or simulated), in monotonically
-        increasing ``done_models`` order per configuration.
+        increasing ``done_models`` order per configuration.  A raising
+        callback cannot abort the sweep: its exceptions are caught, logged
+        as obs error events, and the sweep continues.
         """
+        progress_callback = obs.guarded_progress(progress_callback, origin="store.extend")
         config_list = self._config_objects(configs)
         total = len(dataset)
         latencies = {c.name: np.empty(total, dtype=float) for c in config_list}
@@ -286,45 +311,53 @@ class MeasurementStore:
             [record.fingerprint for record in dataset.records[start:stop]]
             for start, stop in ranges
         ]
-        if n_jobs > 1:
-            self._extend_parallel(
-                dataset, config_list, ranges, prints, latencies, energies,
-                n_jobs, progress_callback,
-            )
-            return MeasurementSet(dataset, latencies, energies)
+        with obs.span(
+            "store.extend", configs=len(config_list), models=total, n_jobs=n_jobs
+        ):
+            if n_jobs > 1:
+                self._extend_parallel(
+                    dataset, config_list, ranges, prints, latencies, energies,
+                    n_jobs, progress_callback,
+                )
+                return MeasurementSet(dataset, latencies, energies)
 
-        done = {c.name: 0 for c in config_list}
-        for (start, stop), shard_prints in zip(ranges, prints):
-            missing: list[AcceleratorConfig] = []
-            for config in config_list:
-                pair = self._load_pair(shard_prints, config.name)
-                if pair is None:
-                    missing.append(config)
-                else:
-                    latencies[config.name][start:stop] = pair[0]
-                    energies[config.name][start:stop] = pair[1]
-                    self.stats.pairs_loaded += 1
-                    self.stats.models_loaded += stop - start
-            if missing:
-                # One LayerTable per shard, shared across its missing configs,
-                # and one config-axis vectorized pass over all of them.
-                networks = [
-                    dataset[index].build_network(dataset.network_config)
-                    for index in range(start, stop)
-                ]
-                table = LayerTable.from_networks(networks)
-                grid_latency, grid_energy = self._simulator.evaluate_table_grid(table, missing)
-                for index, config in enumerate(missing):
-                    latency, energy = grid_latency[index], grid_energy[index]
-                    self._save_pair(shard_prints, config.name, latency, energy)
-                    latencies[config.name][start:stop] = latency
-                    energies[config.name][start:stop] = energy
-                    self.stats.pairs_simulated += 1
-                    self.stats.models_simulated += stop - start
-            for config in config_list:
-                done[config.name] += stop - start
-                if progress_callback is not None:
-                    progress_callback(config.name, done[config.name], total)
+            done = {c.name: 0 for c in config_list}
+            for (start, stop), shard_prints in zip(ranges, prints):
+                missing: list[AcceleratorConfig] = []
+                for config in config_list:
+                    pair = self._load_pair(shard_prints, config.name)
+                    if pair is None:
+                        missing.append(config)
+                        obs.count("store.pair_misses")
+                    else:
+                        latencies[config.name][start:stop] = pair[0]
+                        energies[config.name][start:stop] = pair[1]
+                        self._tally(pairs_loaded=1, models_loaded=stop - start)
+                if missing:
+                    # One LayerTable per shard, shared across its missing
+                    # configs, and one config-axis vectorized pass over all
+                    # of them.
+                    with obs.span(
+                        "store.simulate_shard", models=stop - start, configs=len(missing)
+                    ):
+                        networks = [
+                            dataset[index].build_network(dataset.network_config)
+                            for index in range(start, stop)
+                        ]
+                        table = LayerTable.from_networks(networks)
+                        grid_latency, grid_energy = self._simulator.evaluate_table_grid(
+                            table, missing
+                        )
+                    for index, config in enumerate(missing):
+                        latency, energy = grid_latency[index], grid_energy[index]
+                        self._save_pair(shard_prints, config.name, latency, energy)
+                        latencies[config.name][start:stop] = latency
+                        energies[config.name][start:stop] = energy
+                        self._tally(pairs_simulated=1, models_simulated=stop - start)
+                for config in config_list:
+                    done[config.name] += stop - start
+                    if progress_callback is not None:
+                        progress_callback(config.name, done[config.name], total)
         return MeasurementSet(dataset, latencies, energies)
 
     def sweep(
@@ -368,6 +401,7 @@ class MeasurementStore:
     # ------------------------------------------------------------------ #
     # Read-only access (the service path)
     # ------------------------------------------------------------------ #
+    @obs.traced("store.load")
     def load(
         self,
         dataset: NASBenchDataset,
@@ -393,8 +427,7 @@ class MeasurementStore:
                     continue
                 latencies[name][start:stop] = pair[0]
                 energies[name][start:stop] = pair[1]
-                self.stats.pairs_loaded += 1
-                self.stats.models_loaded += stop - start
+                self._tally(pairs_loaded=1, models_loaded=stop - start)
         if missing:
             shown = ", ".join(f"(shard {i}, {name})" for i, name in missing[:5])
             raise ServiceError(
@@ -426,6 +459,7 @@ class MeasurementStore:
     # ------------------------------------------------------------------ #
     # Compaction (O(files) loose stores → O(open) memory-mapped loads)
     # ------------------------------------------------------------------ #
+    @obs.traced("store.compact")
     def compact(
         self,
         dataset: NASBenchDataset,
@@ -536,6 +570,14 @@ class MeasurementStore:
                     stale.unlink(missing_ok=True)
         self._compact_entries = None
         self._compact_data = {}
+        obs.count("store.compactions")
+        obs.log(
+            "store.compacted",
+            pairs=len(entries),
+            rows=int(data.shape[1]),
+            bytes=int(data_path.stat().st_size),
+            loose_removed=loose_removed,
+        )
         return CompactionResult(
             data_path=data_path,
             index_path=index_path,
@@ -635,11 +677,11 @@ class MeasurementStore:
                 pair = self._load_pair(shard_prints, config.name)
                 if pair is None:
                     missing_by_shard.setdefault(shard_index, []).append(config)
+                    obs.count("store.pair_misses")
                     continue
                 latencies[config.name][start:stop] = pair[0]
                 energies[config.name][start:stop] = pair[1]
-                self.stats.pairs_loaded += 1
-                self.stats.models_loaded += stop - start
+                self._tally(pairs_loaded=1, models_loaded=stop - start)
                 done[config.name] += stop - start
         if progress_callback is not None:
             # Report the warm coverage up front; simulated shards tick below.
@@ -669,8 +711,7 @@ class MeasurementStore:
                     self._save_pair(prints[shard_index], name, latency, energy)
                     latencies[name][start:stop] = latency
                     energies[name][start:stop] = energy
-                    self.stats.pairs_simulated += 1
-                    self.stats.models_simulated += stop - start
+                    self._tally(pairs_simulated=1, models_simulated=stop - start)
                     done[name] += stop - start
                     if progress_callback is not None:
                         progress_callback(name, done[name], total)
@@ -693,7 +734,7 @@ class MeasurementStore:
                 if array is not None and offset + length <= array.shape[1]:
                     rows = array[:, offset : offset + length]
                     if count_stats:
-                        self.stats.pairs_compacted += 1
+                        self._tally(pairs_compacted=1)
                     return (
                         np.array(rows[0], dtype=float),
                         np.array(rows[1], dtype=float),
@@ -720,14 +761,20 @@ class MeasurementStore:
         energy: np.ndarray,
     ) -> Path:
         key = self.shard_key(fingerprints, config_name)
-        return write_npz(
-            self.shard_path(config_name, key),
-            {
-                "fingerprints": np.asarray(fingerprints),
-                "latency": np.asarray(latency, dtype=float),
-                "energy": np.asarray(energy, dtype=float),
-            },
-        )
+        with obs.span(
+            "store.save_pair", config=config_name, models=len(fingerprints)
+        ) as span:
+            path = write_npz(
+                self.shard_path(config_name, key),
+                {
+                    "fingerprints": np.asarray(fingerprints),
+                    "latency": np.asarray(latency, dtype=float),
+                    "energy": np.asarray(energy, dtype=float),
+                },
+            )
+            if obs.enabled():
+                span.set(bytes=path.stat().st_size)
+        return path
 
     @staticmethod
     def _config_objects(

@@ -36,6 +36,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import obs
 from ..errors import ServiceError
 from ..nasbench.layer_table import LayerTable
 from ..nasbench.macro import expand_architecture
@@ -187,28 +188,48 @@ class SweepWorker:
         config = self.manifest.config(pair.config_name)
         if lease.stolen:
             result.leases_stolen += 1
-        interval = max(self.queue.expiry_seconds / 3.0, 0.05)
-        with _Heartbeat(self.queue, lease, interval):
-            if self.throttle_seconds:
-                time.sleep(self.throttle_seconds)
-            table = self._shard_table(pair.shard_index)
-            latency, energy = self._simulator.evaluate_table_grid(table, [config])
-        write_npz(
-            self.manifest.pair_path(self.store_dir, pair),
-            {
-                "fingerprints": np.asarray(fingerprints),
-                "latency": np.asarray(latency[0], dtype=float),
-                "energy": np.asarray(energy[0], dtype=float),
-            },
-        )
+            obs.count("worker.leases_stolen")
+        pair_start = time.perf_counter()
+        with obs.span(
+            "worker.pair",
+            pair=pair.pair_id,
+            shard=pair.shard_index,
+            config=pair.config_name,
+            models=len(fingerprints),
+        ):
+            interval = max(self.queue.expiry_seconds / 3.0, 0.05)
+            with _Heartbeat(self.queue, lease, interval):
+                if self.throttle_seconds:
+                    time.sleep(self.throttle_seconds)
+                table = self._shard_table(pair.shard_index)
+                latency, energy = self._simulator.evaluate_table_grid(table, [config])
+            write_npz(
+                self.manifest.pair_path(self.store_dir, pair),
+                {
+                    "fingerprints": np.asarray(fingerprints),
+                    "latency": np.asarray(latency[0], dtype=float),
+                    "energy": np.asarray(energy[0], dtype=float),
+                },
+            )
+        obs.observe("worker.pair_ms", (time.perf_counter() - pair_start) * 1e3)
         result.pairs_simulated += 1
         result.models_simulated += len(fingerprints)
+        obs.count("worker.pairs_simulated")
+        obs.count("worker.models_simulated", len(fingerprints))
         if lease.lost:
             # Someone stole the lease mid-simulation (e.g. a paused VM past
             # its expiry).  The write above is idempotent and correct, but the
             # thief will record this pair — don't double-count it, and leave
             # the lease file alone (it is the thief's now).
             result.leases_lost += 1
+            obs.count("worker.leases_lost")
+            obs.log(
+                "worker.lease_lost",
+                f"lease for {pair.pair_id} was stolen mid-simulation; "
+                "the thief records this pair",
+                level="warning",
+                pair=pair.pair_id,
+            )
             return
         result.pairs_completed.append(pair.pair_id)
         self._write_report(result)
@@ -229,21 +250,28 @@ class SweepWorker:
         return table
 
     def _write_report(self, result: WorkerResult) -> None:
-        self.queue.write_worker_report(
-            self.owner,
-            {
-                "kind": "worker-report",
-                "owner": self.owner,
-                "pid": os.getpid(),
-                "started_at": self._started_at,
-                "heartbeat": time.time(),
-                "completed": list(result.pairs_completed),
-                "pairs_simulated": result.pairs_simulated,
-                "models_simulated": result.models_simulated,
-                "leases_stolen": result.leases_stolen,
-                "leases_lost": result.leases_lost,
-            },
-        )
+        report = {
+            "kind": "worker-report",
+            "owner": self.owner,
+            "pid": os.getpid(),
+            "started_at": self._started_at,
+            "heartbeat": time.time(),
+            "completed": list(result.pairs_completed),
+            "pairs_simulated": result.pairs_simulated,
+            "models_simulated": result.models_simulated,
+            "leases_stolen": result.leases_stolen,
+            "leases_lost": result.leases_lost,
+        }
+        tracer = obs.active_tracer()
+        if tracer.enabled:
+            # Fold the telemetry stream into the report so the coordinator
+            # surfaces it, and snapshot the metrics alongside every report —
+            # a SIGKILL then loses at most the pair in flight from both.
+            report["trace"] = str(tracer.path)
+            report["events"] = dict(tracer.event_counts)
+        self.queue.write_worker_report(self.owner, report)
+        if tracer.enabled:
+            tracer.flush()
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -291,10 +319,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         strategy=args.strategy,
     )
     result = worker.run(max_pairs=args.max_pairs)
-    print(
+    obs.log(
+        "worker.done",
         f"[{result.owner}] simulated {result.pairs_simulated} pairs "
         f"({result.models_simulated} models) in {result.elapsed_seconds:.2f}s; "
-        f"{len(result.pairs_completed)} recorded, {result.leases_lost} lost leases"
+        f"{len(result.pairs_completed)} recorded, {result.leases_lost} lost leases",
+        echo=True,
+        owner=result.owner,
+        pairs_simulated=result.pairs_simulated,
+        models_simulated=result.models_simulated,
+        leases_lost=result.leases_lost,
     )
     return 0
 

@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..arch.config import STUDIED_CONFIGS, AcceleratorConfig
 from ..arch.config_table import ConfigTable
 from ..arch.energy import energy_parameters_for, energy_parameters_table
@@ -112,9 +113,13 @@ class BatchSimulator:
         disk are loaded, only the missing (shard, configuration) pairs are
         simulated, and every completed shard is persisted immediately (an
         interrupted sweep resumes where it stopped).
+
+        A raising *progress_callback* cannot abort the sweep: exceptions
+        are caught, logged as obs error events, and the sweep continues.
         """
         from .runner import MeasurementSet  # deferred: runner re-exports us
 
+        progress_callback = obs.guarded_progress(progress_callback, origin="sim.evaluate")
         config_list: Sequence[AcceleratorConfig] = (
             list(configs) if configs is not None else list(STUDIED_CONFIGS.values())
         )
@@ -143,20 +148,23 @@ class BatchSimulator:
                 {config.name: np.empty(0, dtype=float) for config in config_list},
                 {config.name: np.full(0, np.nan, dtype=float) for config in config_list},
             )
-        if n_jobs > 1:
-            latencies, energies = self._evaluate_sharded(
-                dataset, config_list, n_jobs, progress_callback
-            )
-        else:
-            networks = [record.build_network(dataset.network_config) for record in dataset]
-            table = LayerTable.from_networks(networks)
-            grid_latency, grid_energy = self.evaluate_table_grid(table, config_list)
-            latencies, energies = {}, {}
-            for index, config in enumerate(config_list):
-                latencies[config.name] = grid_latency[index]
-                energies[config.name] = grid_energy[index]
-                if progress_callback is not None:
-                    progress_callback(config.name, total, total)
+        with obs.span(
+            "sim.evaluate", models=total, configs=len(config_list), n_jobs=n_jobs
+        ):
+            if n_jobs > 1:
+                latencies, energies = self._evaluate_sharded(
+                    dataset, config_list, n_jobs, progress_callback
+                )
+            else:
+                networks = [record.build_network(dataset.network_config) for record in dataset]
+                table = LayerTable.from_networks(networks)
+                grid_latency, grid_energy = self.evaluate_table_grid(table, config_list)
+                latencies, energies = {}, {}
+                for index, config in enumerate(config_list):
+                    latencies[config.name] = grid_latency[index]
+                    energies[config.name] = grid_energy[index]
+                    if progress_callback is not None:
+                        progress_callback(config.name, total, total)
         return MeasurementSet(dataset, latencies, energies)
 
     def evaluate_networks(
@@ -230,28 +238,40 @@ class BatchSimulator:
         traffic.
         """
         config_table = ConfigTable.from_configs(configs)
-        if self.strategy == "fused":
-            result = compile_and_time_table(
-                table,
-                config_table,
-                enable_parameter_caching=self.enable_parameter_caching,
-                backend=self.backend,
-            )
-            return result.latency_ms, result.energy_mj
-        compiled = compile_layer_table(
-            table, config_table, enable_parameter_caching=self.enable_parameter_caching
-        )
-        timing = time_layer_table(compiled)
-        total_cycles = model_latency_cycles_table(timing, table.model_offsets, config_table)
-        latency_ms = cycles_to_milliseconds(total_cycles, config_table)
-
-        params = energy_parameters_table(config_table)
-        dynamic = np.add.reduceat(
-            layer_energy_table(compiled, timing, params), table.segment_starts, axis=-1
-        )
-        energy_mj = dynamic + static_energy_mj(latency_ms, params)
-        energy_mj[~params.available] = np.nan
-        return latency_ms, energy_mj
+        with obs.span(
+            "sim.grid",
+            strategy=self.strategy,
+            configs=len(config_table),
+            models=table.num_models,
+            layers=table.num_layers,
+        ):
+            obs.count("sim.rows_processed", len(config_table) * table.num_layers)
+            if self.strategy == "fused":
+                result = compile_and_time_table(
+                    table,
+                    config_table,
+                    enable_parameter_caching=self.enable_parameter_caching,
+                    backend=self.backend,
+                )
+                return result.latency_ms, result.energy_mj
+            with obs.span("sim.mapping_cache"):
+                compiled = compile_layer_table(
+                    table, config_table, enable_parameter_caching=self.enable_parameter_caching
+                )
+            with obs.span("sim.timing"):
+                timing = time_layer_table(compiled)
+                total_cycles = model_latency_cycles_table(
+                    timing, table.model_offsets, config_table
+                )
+                latency_ms = cycles_to_milliseconds(total_cycles, config_table)
+            with obs.span("sim.energy"):
+                params = energy_parameters_table(config_table)
+                dynamic = np.add.reduceat(
+                    layer_energy_table(compiled, timing, params), table.segment_starts, axis=-1
+                )
+                energy_mj = dynamic + static_energy_mj(latency_ms, params)
+                energy_mj[~params.available] = np.nan
+            return latency_ms, energy_mj
 
     # ------------------------------------------------------------------ #
     # Process-based sharding

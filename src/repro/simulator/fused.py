@@ -49,6 +49,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import obs
 from ..arch.config import AcceleratorConfig, scaled_bytes
 from ..arch.config_table import ConfigTable
 
@@ -157,26 +158,30 @@ def _unique_level_arrays(
 
     # --- mapping level: distinct MAPPING_CONFIG_FIELDS rows --------------- #
     unique_m, inverse_m = configs.factor(MAPPING_CONFIG_FIELDS)
-    mapping = map_layer_table(table, unique_m)
-    compute_cycles = np.ascontiguousarray(
-        np.atleast_2d(mapping.compute_cycles), dtype=np.int64
-    )
-    # The idle-lane slot count only reads mapping fields (issued MAC slots),
-    # so it collapses to the mapping level too; it stays an integer so the
-    # chunk loop can batch-scale it before the coefficient multiply, exactly
-    # like layer_energy_table.
-    macs = table.macs
-    issued_slots = compute_cycles * unique_m.macs_per_cycle
-    idle_slots = np.ascontiguousarray(
-        np.where(macs > 0, np.maximum(0, issued_slots - macs), 0), dtype=np.int64
-    )
+    obs.count("sim.unique_mapping_rows", len(unique_m))
+    with obs.span("sim.mapping", unique=len(unique_m), layers=len(table)):
+        mapping = map_layer_table(table, unique_m)
+        compute_cycles = np.ascontiguousarray(
+            np.atleast_2d(mapping.compute_cycles), dtype=np.int64
+        )
+        # The idle-lane slot count only reads mapping fields (issued MAC
+        # slots), so it collapses to the mapping level too; it stays an
+        # integer so the chunk loop can batch-scale it before the coefficient
+        # multiply, exactly like layer_energy_table.
+        macs = table.macs
+        issued_slots = compute_cycles * unique_m.macs_per_cycle
+        idle_slots = np.ascontiguousarray(
+            np.where(macs > 0, np.maximum(0, issued_slots - macs), 0), dtype=np.int64
+        )
 
     # --- cache level: distinct CACHE_CONFIG_FIELDS rows ------------------- #
     unique_c, inverse_c = configs.factor(CACHE_CONFIG_FIELDS)
-    cache = plan_cache_table(table, unique_c, enable_caching=enable_parameter_caching)
-    weights_scaled = scaled_bytes(table.weight_bytes, unique_c.weight_bits)
-    streamed = np.ascontiguousarray(np.atleast_2d(cache.streamed_bytes), dtype=np.int64)
-    refill = np.ascontiguousarray(weights_scaled - streamed, dtype=np.int64)
+    obs.count("sim.unique_cache_rows", len(unique_c))
+    with obs.span("sim.cache", unique=len(unique_c), layers=len(table)):
+        cache = plan_cache_table(table, unique_c, enable_caching=enable_parameter_caching)
+        weights_scaled = scaled_bytes(table.weight_bytes, unique_c.weight_bits)
+        streamed = np.ascontiguousarray(np.atleast_2d(cache.streamed_bytes), dtype=np.int64)
+        refill = np.ascontiguousarray(weights_scaled - streamed, dtype=np.int64)
 
     act_scaled = scaled_bytes(working_set, unique_c.activation_bits)
     spill = np.where(act_scaled > unique_c.total_pe_memory_bytes, act_scaled, 0)
@@ -311,10 +316,35 @@ def compile_and_time_table(
         zeros = (np.zeros_like(empty), np.zeros_like(empty)) if sensitivities else (None, None)
         return FusedGridResult(empty, np.full_like(empty, np.nan), *zeros)
 
-    unique = _unique_level_arrays(
-        table, config_table, enable_parameter_caching, sensitivities or sram_scale != 1.0
-    )
-    chunk = config_chunk or _auto_chunk(num_configs, num_layers)
+    with obs.span(
+        "sim.fused",
+        configs=num_configs,
+        models=num_models,
+        layers=num_layers,
+        kernel="jit" if resolved.jit else "numpy",
+    ):
+        unique = _unique_level_arrays(
+            table, config_table, enable_parameter_caching, sensitivities or sram_scale != 1.0
+        )
+        chunk = config_chunk or _auto_chunk(num_configs, num_layers)
+        result = _fused_time_energy(
+            unique, table, config_table, resolved, chunk, sensitivities, sram_scale
+        )
+    return result
+
+
+def _fused_time_energy(
+    unique: _UniqueLevelArrays,
+    table: LayerTable,
+    config_table: ConfigTable,
+    resolved: ArrayBackend,
+    chunk: int,
+    sensitivities: bool,
+    sram_scale: float,
+) -> FusedGridResult:
+    """Timing/energy back end of the fused kernel (split out for tracing)."""
+    num_configs = len(config_table)
+    num_models = table.num_models
 
     # Full-config-axis columns, flattened to (C,) for row slicing.
     sustained = np.ravel(sustained_bytes_per_cycle(config_table))
@@ -333,62 +363,64 @@ def compile_and_time_table(
     latency_ms = np.empty((num_configs, num_models), dtype=np.float64)
     energy_mj = np.empty((num_configs, num_models), dtype=np.float64)
 
-    if resolved.jit and not sensitivities and sram_scale == 1.0:
-        kernel = resolved.njit(_fused_rows_loop_nest, parallel=True)
-        kernel(
-            unique.compute_cycles,
-            unique.idle_slots,
-            unique.stream_bytes,
-            unique.act_dram_bytes,
-            unique.refill_bytes,
-            unique.sram_act_bytes,
-            macs,
-            batch,
-            unique.inverse_mapping,
-            unique.inverse_cache,
-            sustained,
-            on_chip,
-            layer_overhead.astype(np.float64),
-            inference_overhead.astype(np.float64),
-            clock_hz,
-            static_power,
-            np.asarray(table.model_offsets, dtype=np.int64),
-            latency_ms,
-            energy_mj,
-        )
-    else:
-        _fused_rows_numpy(
-            unique,
-            table,
-            chunk,
-            batch,
-            sustained,
-            on_chip,
-            layer_overhead,
-            inference_overhead,
-            clock_hz,
-            static_power,
-            macs,
-            sram_scale,
-            latency_ms,
-            energy_mj,
-        )
+    with obs.span("sim.time_energy", chunk=chunk):
+        if resolved.jit and not sensitivities and sram_scale == 1.0:
+            kernel = resolved.njit(_fused_rows_loop_nest, parallel=True)
+            kernel(
+                unique.compute_cycles,
+                unique.idle_slots,
+                unique.stream_bytes,
+                unique.act_dram_bytes,
+                unique.refill_bytes,
+                unique.sram_act_bytes,
+                macs,
+                batch,
+                unique.inverse_mapping,
+                unique.inverse_cache,
+                sustained,
+                on_chip,
+                layer_overhead.astype(np.float64),
+                inference_overhead.astype(np.float64),
+                clock_hz,
+                static_power,
+                np.asarray(table.model_offsets, dtype=np.int64),
+                latency_ms,
+                energy_mj,
+            )
+        else:
+            _fused_rows_numpy(
+                unique,
+                table,
+                chunk,
+                batch,
+                sustained,
+                on_chip,
+                layer_overhead,
+                inference_overhead,
+                clock_hz,
+                static_power,
+                macs,
+                sram_scale,
+                latency_ms,
+                energy_mj,
+            )
 
-    energy_mj[~params.available] = np.nan
+        energy_mj[~params.available] = np.nan
 
     dlat_dclock = dlat_dsram = None
     if sensitivities:
-        dlat_dclock, dlat_dsram = _sensitivity_pass(
-            unique,
-            table,
-            chunk,
-            batch,
-            sustained,
-            on_chip,
-            clock_hz,
-            np.ravel(config_table.total_on_chip_memory_bytes).astype(np.float64),
-            latency_ms,
-        )
+        with obs.span("sim.sensitivities"):
+            dlat_dclock, dlat_dsram = _sensitivity_pass(
+                unique,
+                table,
+                chunk,
+                batch,
+                sustained,
+                on_chip,
+                clock_hz,
+                np.ravel(config_table.total_on_chip_memory_bytes).astype(np.float64),
+                latency_ms,
+            )
     return FusedGridResult(latency_ms, energy_mj, dlat_dclock, dlat_dsram)
 
 

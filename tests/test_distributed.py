@@ -19,6 +19,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.arch import get_config
 from repro.errors import ServiceError
 from repro.nasbench import MacroSpec, NASBenchDataset, random_macro
@@ -282,6 +283,45 @@ class TestSweepWorker:
         with pytest.raises(ServiceError, match="strategy"):
             SweepWorker(tmp_path, strategy="warp-drive")
 
+    def test_traced_drain_merges_to_exact_fleet_counts(
+        self, tmp_path, queue_dataset, reference
+    ):
+        """A traced drain yields a merged fleet view whose counters match the
+        queue accounting exactly, with byte-identical numerical results."""
+        _, manifest = publish(tmp_path, queue_dataset)
+        traces = tmp_path / "traces"
+        with obs.capture(traces):
+            SweepWorker(tmp_path, owner="t-a", poll_seconds=0.05).run(max_pairs=2)
+            SweepWorker(tmp_path, owner="t-b", poll_seconds=0.05).run()
+        assert_store_matches_reference(tmp_path, queue_dataset, reference)
+
+        merged = obs.trace_summary(traces)
+        assert merged.counters["worker.pairs_simulated"] == len(manifest.pairs)
+        assert merged.counters["worker.models_simulated"] == (
+            len(queue_dataset) * len(CONFIGS)
+        )
+        assert merged.spans["worker.pair"].count == len(manifest.pairs)
+        assert merged.histograms["worker.pair_ms"].count == len(manifest.pairs)
+        assert merged.counters.get("worker.leases_lost", 0) == 0
+
+        # Worker reports fold the telemetry stream in, and the coordinator
+        # surfaces it per worker.
+        coordinator = SweepCoordinator(tmp_path, manifest=manifest)
+        progress = coordinator.progress()
+        assert progress.workers and all(worker.trace for worker in progress.workers)
+
+        # Loading the drained store back counts exactly what StoreStats says.
+        with obs.capture(tmp_path / "traces-load") as tracer:
+            warm = MeasurementStore(tmp_path, shard_size=SHARD)
+            warm.load(queue_dataset, configs=CONFIGS)
+        assert warm.stats.pairs_loaded == len(manifest.pairs)
+        assert tracer.metrics.counter_value("store.pairs_loaded") == (
+            warm.stats.pairs_loaded
+        )
+        assert tracer.metrics.counter_value("store.models_loaded") == (
+            warm.stats.models_loaded
+        )
+
 
 class TestMacroManifest:
     """Macro sweeps round-trip through the manifest and rebuild standalone."""
@@ -374,7 +414,8 @@ class TestMultiprocessDrain:
         manifest = store.publish_manifest(dataset, configs=CONFIGS)
         assert len(manifest.pairs) == 12
 
-        env = dict(os.environ, PYTHONPATH=str(SRC))
+        traces = tmp_path / "traces"
+        env = dict(os.environ, PYTHONPATH=str(SRC), REPRO_TRACE=str(traces))
         procs = [
             subprocess.Popen(
                 self.worker_command(tmp_path, f"w{index}"),
@@ -435,3 +476,23 @@ class TestMultiprocessDrain:
         )
         assert status.returncode == 0, status.stderr
         assert "12/12" in status.stdout
+
+        # Every worker process left a per-process JSONL trace behind, and the
+        # fleet-merge CLI folds them into one summary.  The SIGKILL can lose at
+        # most the victim's final unflushed snapshot, so the merged counters
+        # must cover all but one completed pair (re-simulated stolen pairs may
+        # push the total above pairs_done).
+        trace_files = sorted(traces.glob("trace-*.jsonl"))
+        assert len(trace_files) >= 2, "survivors did not write traces"
+        fleet = subprocess.run(
+            [sys.executable, "-m", "repro.obs", str(traces), "--json"],
+            env=env, capture_output=True, text=True, timeout=120,
+        )
+        assert fleet.returncode == 0, fleet.stderr
+        summary = json.loads(fleet.stdout)
+        simulated = summary["counters"].get("worker.pairs_simulated", 0)
+        assert simulated >= progress.pairs_done - 1
+        claims = summary["events"].get("queue.claim", 0)
+        steals = summary["events"].get("queue.steal", 0)
+        assert claims + steals >= simulated
+        assert summary["files"] == len(trace_files)

@@ -65,7 +65,11 @@ class TestMeasurementStore:
     def test_interrupted_sweep_resumes_with_exactly_missing_shards(
         self, tmp_path, store_dataset, direct_measurements
     ):
-        class Interrupted(Exception):
+        # BaseException, not Exception: progress callbacks are non-fatal by
+        # design (obs.guarded_progress swallows ordinary exceptions), so the
+        # interruption is modeled the way real ones arrive — KeyboardInterrupt
+        # / SIGTERM — which the guard deliberately lets propagate.
+        class Interrupted(BaseException):
             pass
 
         store = make_store(tmp_path)
