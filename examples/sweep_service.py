@@ -19,11 +19,17 @@ alternative:
 4. re-run the warm load under ``repro.obs`` tracing and print the merged
    trace summary — the same view ``python -m repro.obs <dir>`` gives a
    whole worker fleet (set ``REPRO_TRACE=1`` to trace this script end to
-   end instead).
+   end instead);
+5. serve the same warm service over HTTP — :class:`repro.SweepServer` on an
+   ephemeral loopback port, queried through the async
+   :class:`repro.ServiceClient` — and check the answers match the direct
+   calls bit for bit (``python -m repro.server <store_dir>`` runs the same
+   server standalone; see DESIGN.md §13).
 
 Run with:  python examples/sweep_service.py [num_models]
 """
 
+import asyncio
 import os
 import sys
 import time
@@ -106,6 +112,34 @@ def main(num_models: int = 300) -> None:
     )
     for line in summary.lines()[:6]:
         print(f"  {line}")
+
+    # 5. The same service over HTTP: every endpoint routes through the typed
+    #    SweepService.query() dispatch, so served answers equal direct calls.
+    asyncio.run(_serve_and_query(service, best.fingerprint))
+
+
+async def _serve_and_query(service: SweepService, fingerprint: str) -> None:
+    from repro import ServerConfig, ServiceClient, SweepServer
+    from repro.service import LatencyRequest
+
+    server = SweepServer(service, ServerConfig(port=0))
+    await server.start()
+    print(f"\nserving on 127.0.0.1:{server.port} (store digest {service.store_digest}):")
+    async with ServiceClient(port=server.port) as client:
+        top = await client.top_k(3)
+        print(f"  top_k(k=3)            -> {len(top.result['entries'])} entries")
+        latency = await client.query(LatencyRequest(fingerprint, "V2"))
+        assert latency.result["value"] == service.latency_of(fingerprint, "V2")
+        print(
+            f"  latency(V2)           -> {latency.result['value']:.3f} ms "
+            f"(served from {latency.served_from})"
+        )
+        again = await client.query(LatencyRequest(fingerprint, "V2"))
+        print(f"  latency(V2) repeat    -> served from {again.served_from}")
+        health = await client.health()
+        print(f"  GET /healthz          -> {health['status']}")
+    await server.stop()
+    print("  drained and stopped cleanly")
 
 
 if __name__ == "__main__":

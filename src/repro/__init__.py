@@ -9,6 +9,7 @@ The package is organized as:
 * :mod:`repro.core` — the graph-neural-network learned performance model;
 * :mod:`repro.pipeline` — experiment orchestration (train/evaluate grids with caching);
 * :mod:`repro.service` — resumable sharded measurement store and sweep query service;
+* :mod:`repro.server` — async micro-batched HTTP serving over a warm store;
 * :mod:`repro.search` — hardware-aware architecture search (evolution / predictor-guided);
 * :mod:`repro.hwspace` — accelerator design-space exploration (grids, hardware Pareto, co-search);
 * :mod:`repro.analysis` — the characterization study (tables and figures).
@@ -79,7 +80,16 @@ from .pipeline import (
     run_search_experiment,
 )
 from .search import SearchEngine, SearchResult, SearchSpec
-from .service import MeasurementStore, StoreStats, SweepService
+from .service import (
+    MeasurementStore,
+    MetricRequest,
+    ParetoRequest,
+    PredictRequest,
+    QueryResponse,
+    StoreStats,
+    SweepService,
+    TopKRequest,
+)
 from .simulator import (
     BatchSimulator,
     FusedGridResult,
@@ -120,13 +130,17 @@ __all__ = [
     "LearnedPerformanceModel",
     "MeasurementSet",
     "MeasurementStore",
+    "MetricRequest",
     "ModelError",
     "NASBenchDataset",
     "NetworkConfig",
     "ParetoArchive",
+    "ParetoRequest",
     "PerformanceSimulator",
     "PipelineError",
     "PopulationSpec",
+    "PredictRequest",
+    "QueryResponse",
     "ReproError",
     "STUDIED_CONFIGS",
     "SearchEngine",
@@ -136,13 +150,17 @@ __all__ = [
     "SearchResult",
     "SearchSpec",
     "SensitivityPoint",
+    "ServerConfig",
+    "ServiceClient",
     "ServiceError",
     "SimulationError",
     "StoreStats",
     "SweepCoordinator",
     "SweepManifest",
+    "SweepServer",
     "SweepService",
     "SweepWorker",
+    "TopKRequest",
     "TrainingSettings",
     "available_backends",
     "build_network",
@@ -165,12 +183,16 @@ __all__ = [
 
 def __getattr__(name: str):
     # Lazily resolved so ``python -m repro.service.worker`` (and ``.queue``,
-    # ``.obs``) run those modules as ``__main__`` without being pre-imported
-    # here.
+    # ``.obs``, ``.server``) run those modules as ``__main__`` without being
+    # pre-imported here.
     if name in ("SweepCoordinator", "SweepManifest", "SweepWorker"):
         from . import service
 
         return getattr(service, name)
+    if name in ("SweepServer", "ServerConfig", "ServiceClient"):
+        from . import server
+
+        return getattr(server, name)
     if name in ("obs", "trace_summary"):
         from . import obs
 

@@ -1,0 +1,348 @@
+"""The asyncio query server: routing, admission control, drain.
+
+:class:`SweepServer` fronts one warm :class:`~repro.service.query.SweepService`
+with a small HTTP surface (stdlib asyncio only):
+
+==========================  =====================================================
+``GET /healthz``            liveness + store digest
+``GET /v1/stats``           cache / batching / admission counters
+``GET /v1/top_k``           ``k`` — most accurate models (paper Figure 9)
+``GET /v1/pareto``          ``config``, ``min_accuracy`` — frontier (Figure 5)
+``GET /v1/latency``         ``fingerprint``, ``config`` — measured latency
+``GET /v1/energy``          ``fingerprint``, ``config`` — measured energy
+``GET /v1/metric``          the symmetric lookup (``metric=latency|energy``)
+``POST /v1/query``          any :mod:`repro.service.api` request, wire-form
+``POST /v1/predict``        predict wire-form (micro-batched)
+==========================  =====================================================
+
+Handlers are pure decode → :meth:`SweepService.query` → encode; there is no
+query logic in this module.  Store-backed answers sit behind the LRU
+hot-cache (:mod:`repro.server.cache`); predictions flow through the
+micro-batcher (:mod:`repro.server.batching`); both the batched forward pass
+and uncached store queries run on a single-worker executor so the event
+loop never blocks on numpy.
+
+**Admission control.**  At most ``max_inflight`` requests are being
+answered at once; past that the server fails fast with ``429`` and a
+``Retry-After`` hint rather than queueing unboundedly (the predict queue is
+additionally bounded in cells — see :class:`MicroBatcher`).  During
+shutdown the server stops accepting, answers ``503`` on kept-alive
+connections, and drains in-flight work before closing (crash/drain states
+in DESIGN.md §13).
+
+Error mapping: malformed HTTP/JSON → ``400``; unknown fingerprints →
+``404``; domain errors (:class:`ReproError`) → ``400``; saturation →
+``429``/``503`` + ``Retry-After``; anything else → ``500`` with the
+exception logged through :mod:`repro.obs` — never a crashed event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from .. import obs
+from ..errors import DatasetError, ReproError
+from ..service.api import (
+    EnergyRequest,
+    LatencyRequest,
+    MetricRequest,
+    ParetoRequest,
+    PredictRequest,
+    QueryRequest,
+    QueryResponse,
+    TopKRequest,
+    cache_key,
+    request_from_dict,
+)
+from .batching import MicroBatcher, ServerSaturated
+from .cache import QueryCache
+from .protocol import HttpRequest, ProtocolError, encode_response, read_request
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables of one server instance (all bounds, no behavior switches).
+
+    ``port=0`` binds an ephemeral port (read it back from
+    :attr:`SweepServer.port` — the test suite and benchmark run this way).
+    ``window_ms=0`` disables predict coalescing; ``cache_size=0`` disables
+    the hot cache.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8787
+    window_ms: float = 5.0
+    max_batch: int = 256
+    max_pending: int = 4096
+    cache_size: int = 256
+    max_inflight: int = 128
+    retry_after: float = 1.0
+
+
+class SweepServer:
+    """Asyncio HTTP front-end over one warm sweep service."""
+
+    def __init__(self, service, config: ServerConfig | None = None):
+        self.service = service
+        self.config = config or ServerConfig()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-server"
+        )
+        self.cache = QueryCache(self.config.cache_size)
+        self.batcher = MicroBatcher(
+            service,
+            self._executor,
+            window_ms=self.config.window_ms,
+            max_batch=self.config.max_batch,
+            max_pending=self.config.max_pending,
+            retry_after=self.config.retry_after,
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: dict[asyncio.Task, asyncio.StreamWriter] = {}
+        self._inflight = 0
+        self._draining = False
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self.requests_served = 0
+        self.requests_rejected = 0
+        # Pre-warm the store digest off the request path: the first digest
+        # computation walks every measurement array.
+        self._store_digest = service.store_digest
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the kernel's choice)."""
+        if self._server is None or not self._server.sockets:
+            return self.config.port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        obs.log(
+            "server.started",
+            f"serving store {self._store_digest} on "
+            f"{self.config.host}:{self.port}",
+        )
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight work, shut down."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self._idle.wait()
+        await self.batcher.drain()
+        # Idle keep-alive connections are parked in read_request; closing
+        # their transports ends them through the normal EOF path (no work is
+        # dropped, and no task finishes cancelled).
+        for writer in list(self._connections.values()):
+            writer.close()
+        if self._connections:
+            await asyncio.gather(*list(self._connections), return_exceptions=True)
+        self._executor.shutdown(wait=True)
+        obs.log("server.stopped", "drained and shut down")
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections[task] = writer
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except ProtocolError as exc:
+                    writer.write(
+                        encode_response(
+                            exc.status, {"error": str(exc)}, keep_alive=False
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                payload = await self._respond(request)
+                writer.write(payload)
+                await writer.drain()
+                if not request.keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; nothing to answer
+        finally:
+            if task is not None:
+                self._connections.pop(task, None)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _respond(self, request: HttpRequest) -> bytes:
+        """Admission control + dispatch + error mapping, to response bytes."""
+        retry = {"Retry-After": str(max(1, int(self.config.retry_after)))}
+        if self._draining:
+            self.requests_rejected += 1
+            obs.count("server.rejected_draining")
+            return encode_response(
+                503,
+                {"error": "server is draining"},
+                keep_alive=False,
+                extra_headers=retry,
+            )
+        if self._inflight >= self.config.max_inflight:
+            self.requests_rejected += 1
+            obs.count("server.rejected_inflight")
+            return encode_response(
+                429,
+                {
+                    "error": (
+                        f"too many in-flight requests "
+                        f"(bound {self.config.max_inflight})"
+                    )
+                },
+                extra_headers=retry,
+            )
+        self._inflight += 1
+        self._idle.clear()
+        started = time.perf_counter()
+        endpoint = request.path
+        try:
+            status, payload, headers = await self._dispatch(request)
+        except ProtocolError as exc:
+            status, payload, headers = exc.status, {"error": str(exc)}, None
+        except ServerSaturated as exc:
+            obs.count("server.rejected_saturated")
+            self.requests_rejected += 1
+            status, payload, headers = 429, {"error": str(exc)}, retry
+        except DatasetError as exc:
+            status, payload, headers = 404, {"error": str(exc)}, None
+        except ReproError as exc:
+            status, payload, headers = 400, {"error": str(exc)}, None
+        except Exception as exc:  # never crash the loop on a handler bug
+            obs.log(
+                "server.handler_error",
+                f"{type(exc).__name__} answering {endpoint}: {exc}",
+                level="error",
+            )
+            status, payload, headers = 500, {"error": "internal server error"}, None
+        finally:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.set()
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        obs.observe(f"server.request_ms.{endpoint.strip('/').replace('/', '_')}", elapsed_ms)
+        obs.count("server.requests")
+        if status == 200:
+            self.requests_served += 1
+        return encode_response(
+            status, payload, keep_alive=request.keep_alive, extra_headers=headers
+        )
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    async def _dispatch(self, request: HttpRequest):
+        method, path = request.method, request.path
+        if path == "/healthz" and method == "GET":
+            return 200, {"status": "ok", "store_digest": self._store_digest}, None
+        if path == "/v1/stats" and method == "GET":
+            return 200, self.stats(), None
+        if path == "/v1/query" and method == "POST":
+            query = request_from_dict(request.json())
+        elif path == "/v1/predict" and method == "POST":
+            payload = request.json()
+            if isinstance(payload, dict):
+                payload.setdefault("kind", "predict")
+            query = request_from_dict(payload)
+            if not isinstance(query, PredictRequest):
+                raise ProtocolError("/v1/predict only accepts predict requests")
+        elif method == "GET" and path in _GET_ROUTES:
+            query = _GET_ROUTES[path](request)
+        elif path in _GET_ROUTES or path in ("/v1/query", "/v1/predict"):
+            return 405, {"error": f"method {method} not allowed for {path}"}, None
+        else:
+            return 404, {"error": f"no route for {method} {path}"}, None
+        response = await self._answer(query)
+        return 200, response.to_dict(), None
+
+    async def _answer(self, query: QueryRequest) -> QueryResponse:
+        """One typed request → one envelope, through batcher or cache."""
+        if isinstance(query, PredictRequest):
+            return await self.batcher.submit(query)
+        key = cache_key(self._store_digest, query)
+        cached = self.cache.get(key)
+        if cached is not None:
+            obs.count("server.cache_hits")
+            return cached
+        obs.count("server.cache_misses")
+        response = await asyncio.get_running_loop().run_in_executor(
+            self._executor, self.service.query, query
+        )
+        self.cache.put(key, response)
+        return response
+
+    def stats(self) -> dict:
+        """Operational counters (the ``/v1/stats`` payload)."""
+        return {
+            "store_digest": self._store_digest,
+            "configs": list(self.service.config_names),
+            "models": len(self.service.dataset),
+            "inflight": self._inflight,
+            "draining": self._draining,
+            "requests_served": self.requests_served,
+            "requests_rejected": self.requests_rejected,
+            "cache": self.cache.stats(),
+            "batching": self.batcher.stats(),
+        }
+
+
+def _parse_top_k(request: HttpRequest) -> TopKRequest:
+    try:
+        k = int(request.query.get("k", "5"))
+    except ValueError as exc:
+        raise ProtocolError(f"k must be an integer, got {request.query['k']!r}") from exc
+    return TopKRequest(k=k)
+
+
+def _parse_pareto(request: HttpRequest) -> ParetoRequest:
+    raw = request.query.get("min_accuracy", "0.70")
+    try:
+        min_accuracy = float(raw)
+    except ValueError as exc:
+        raise ProtocolError(f"min_accuracy must be a number, got {raw!r}") from exc
+    return ParetoRequest(request.param("config"), min_accuracy)
+
+
+def _parse_metric(request: HttpRequest) -> MetricRequest:
+    return MetricRequest(
+        request.param("fingerprint"),
+        request.param("config"),
+        metric=request.query.get("metric", "latency"),
+    )
+
+
+_GET_ROUTES = {
+    "/v1/top_k": _parse_top_k,
+    "/v1/pareto": _parse_pareto,
+    "/v1/metric": _parse_metric,
+    "/v1/latency": lambda r: LatencyRequest(r.param("fingerprint"), r.param("config")),
+    "/v1/energy": lambda r: EnergyRequest(r.param("fingerprint"), r.param("config")),
+}
+
+__all__ = ["ServerConfig", "SweepServer"]

@@ -1,0 +1,75 @@
+"""LRU hot-cache for query responses, keyed by content.
+
+Keys come from :func:`repro.service.api.cache_key` — the canonical
+(dict-order-invariant) request digest scoped by the serving store's content
+digest — so a cached answer can only ever be returned for the exact same
+question over the exact same measurements.  Hits are re-wrapped with
+``served_from="cache"`` provenance; the cached entry itself is never
+mutated.  Capacity 0 disables caching entirely (every lookup is a miss and
+nothing is stored), which is also the configuration the equivalence tests
+and the benchmark's cold legs run under.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import replace
+
+from ..service.api import QueryResponse
+
+
+class QueryCache:
+    """Bounded LRU of :class:`QueryResponse` values with hit/miss accounting."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[str, QueryResponse] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str) -> QueryResponse | None:
+        """The cached response (re-tagged ``served_from="cache"``) or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return replace(entry, served_from="cache")
+
+    def put(self, key: str, response: QueryResponse) -> None:
+        """Insert (or refresh) one response; evicts the least recently used."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = response
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        """Counters for ``/v1/stats`` and the benchmark report."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

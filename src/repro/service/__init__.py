@@ -19,9 +19,28 @@ queries from the result:
   progress (see DESIGN.md §10);
 * :class:`SweepService` — read-only query API (top-k, Pareto frontier,
   fingerprint lookups, learned-model predictions for unseen cells) that
-  never invokes the simulator.
+  never invokes the simulator.  Queries flow through the typed
+  request/response surface of :mod:`repro.service.api`
+  (:meth:`SweepService.query` dispatch + :class:`QueryResponse` envelope),
+  which is also the wire format of :mod:`repro.server`.
 """
 
+from .api import (
+    QUERY_METRICS,
+    SERVED_FROM,
+    EnergyRequest,
+    LatencyRequest,
+    MetricRequest,
+    ParetoRequest,
+    PredictRequest,
+    QueryRequest,
+    QueryResponse,
+    TopKRequest,
+    cache_key,
+    canonical_request_key,
+    request_from_dict,
+    resolve_configs,
+)
 from .query import SweepService
 from .store import (
     DEFAULT_SHARD_SIZE,
@@ -64,9 +83,18 @@ __all__ = [
     "CompactionResult",
     "DEFAULT_LEASE_EXPIRY",
     "DEFAULT_SHARD_SIZE",
+    "EnergyRequest",
+    "LatencyRequest",
     "MeasurementStore",
+    "MetricRequest",
+    "ParetoRequest",
+    "PredictRequest",
+    "QUERY_METRICS",
     "QUEUE_FORMAT_VERSION",
+    "QueryRequest",
+    "QueryResponse",
     "QueueProgress",
+    "SERVED_FROM",
     "STORE_FORMAT_VERSION",
     "StoreStats",
     "SweepCoordinator",
@@ -74,10 +102,15 @@ __all__ = [
     "SweepPair",
     "SweepService",
     "SweepWorker",
+    "TopKRequest",
     "WorkQueue",
     "WorkerResult",
     "WorkerStatus",
+    "cache_key",
+    "canonical_request_key",
     "read_npz",
+    "request_from_dict",
+    "resolve_configs",
     "stable_digest",
     "write_npz",
 ]

@@ -6,14 +6,22 @@ construction loads the population's measurements from a
 :class:`~repro.service.store.MeasurementStore` (read-only; a cold store is a
 :class:`~repro.errors.ServiceError`, never a silent re-sweep), and every
 query is a lookup or an array kernel over the loaded
-:class:`~repro.simulator.runner.MeasurementSet`:
+:class:`~repro.simulator.runner.MeasurementSet`.
+
+The service exposes **one typed entry point**, :meth:`query`, dispatching on
+the request variants of :mod:`repro.service.api` (:class:`TopKRequest`,
+:class:`ParetoRequest`, :class:`MetricRequest`, :class:`PredictRequest`)
+and returning a :class:`~repro.service.api.QueryResponse` envelope whose
+``result`` payload is JSON-serializable — the exact bytes
+:mod:`repro.server` puts on the wire.  The named methods remain as thin
+typed wrappers over the same kernels:
 
 * :meth:`top_k` — the most accurate models, annotated with per-configuration
   latency (paper Figure 9);
 * :meth:`pareto_front` / :meth:`pareto_front_indices` — the non-dominated
   accuracy/latency frontier of one configuration (Figure 5);
-* :meth:`latency_of` / :meth:`energy_of` — measurements of one cell by its
-  isomorphism fingerprint;
+* :meth:`metric_of` (with :meth:`latency_of` / :meth:`energy_of` sugar) —
+  measurements of one cell by its isomorphism fingerprint;
 * :meth:`predict` — estimated metrics for *unseen* cells via a
   :class:`~repro.core.predictor.LearnedPerformanceModel` trained on the
   stored measurements, with trained weights cached as npz next to the shards
@@ -23,6 +31,8 @@ query is a lookup or an array kernel over the loaded
 
 from __future__ import annotations
 
+import hashlib
+import warnings
 from dataclasses import asdict
 from typing import Iterable, Sequence
 
@@ -46,6 +56,15 @@ from ..errors import ModelError, ServiceError
 from ..nasbench.cell import Cell
 from ..nasbench.dataset import ModelRecord, NASBenchDataset
 from ..simulator.runner import MeasurementSet
+from .api import (
+    MetricRequest,
+    ParetoRequest,
+    PredictRequest,
+    QueryRequest,
+    QueryResponse,
+    TopKRequest,
+    resolve_configs,
+)
 from .store import (
     STORE_FORMAT_VERSION,
     MeasurementStore,
@@ -53,6 +72,23 @@ from .store import (
     stable_digest,
     write_npz,
 )
+
+
+def _same_population(left: NASBenchDataset, right: NASBenchDataset) -> bool:
+    """Whether two datasets describe the same swept population.
+
+    Identity is content, not object: equal record fingerprints in the same
+    order and the same network configuration.  A worker-rebuilt dataset of
+    the same population (e.g. reconstructed from a sweep manifest) is the
+    same population.
+    """
+    if left is right:
+        return True
+    if len(left) != len(right) or left.network_config != right.network_config:
+        return False
+    return all(
+        a.fingerprint == b.fingerprint for a, b in zip(left.records, right.records)
+    )
 
 
 class SweepService:
@@ -67,41 +103,60 @@ class SweepService:
         The population the store was swept over (fingerprint-verified
         against the shard files on load).
     configs:
-        Configurations to serve (names or
+        Keyword-only: configurations to serve (names or
         :class:`~repro.arch.config.AcceleratorConfig`; defaults to the
-        paper's V1/V2/V3).
+        paper's V1/V2/V3).  Normalized through
+        :func:`~repro.service.api.resolve_configs` — unknown names raise
+        :class:`ServiceError` naming the offenders before any disk load is
+        attempted.  Passing configs positionally is deprecated.
     settings:
         Training hyperparameters of the learned models backing
         :meth:`predict` (part of their weight-cache key).
     measurements:
-        Optional already-loaded :class:`MeasurementSet` of *dataset* to serve
-        from, skipping the disk load.  Used by callers that just swept the
-        store and still hold the result (the search engine constructs one
-        service per generation); the set must cover every requested
-        configuration and belong to *dataset*.
+        Optional already-loaded :class:`MeasurementSet` to serve from,
+        skipping the disk load.  Used by callers that just swept the store
+        and still hold the result (the search engine constructs one service
+        per generation); the set must cover every requested configuration
+        and belong to the same population as *dataset* (fingerprint-equal
+        datasets are accepted — object identity is not required).
     """
 
     def __init__(
         self,
         store: MeasurementStore,
         dataset: NASBenchDataset,
+        *deprecated_configs: Iterable[object],
         configs: Iterable[object] | None = None,
         settings: TrainingSettings | None = None,
         measurements: MeasurementSet | None = None,
     ):
+        if deprecated_configs:
+            if len(deprecated_configs) > 1 or configs is not None:
+                raise TypeError(
+                    "SweepService takes at most one configs argument "
+                    "(pass it as configs=...)"
+                )
+            warnings.warn(
+                "passing configs positionally to SweepService is deprecated; "
+                "use the configs= keyword",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            configs = deprecated_configs[0]
         self._store = store
         self._dataset = dataset
         if measurements is None:
-            measurements = store.load(dataset, configs=configs)
+            names = resolve_configs(configs, available=store.available_configs())
+            measurements = store.load(dataset, configs=names)
         else:
-            if measurements.dataset is not dataset:
+            if not _same_population(measurements.dataset, dataset):
                 raise ServiceError(
                     "the preloaded measurement set belongs to a different "
                     "dataset than the one served"
                 )
             missing = [
                 name
-                for name in MeasurementStore._config_names(configs)
+                for name in resolve_configs(configs)
                 if name not in measurements.config_names
             ]
             if missing:
@@ -110,6 +165,7 @@ class SweepService:
         self._settings = settings or TrainingSettings()
         self._models: dict[tuple[str, str], LearnedPerformanceModel] = {}
         self._table: GraphTable | None = None
+        self._store_digest: str | None = None
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -128,6 +184,89 @@ class SweepService:
     def config_names(self) -> list[str]:
         """Configurations the service can answer queries for."""
         return self._measurements.config_names
+
+    @property
+    def store_digest(self) -> str:
+        """Content digest of the served measurements.
+
+        Covers the population fingerprints and every served configuration's
+        latency/energy arrays, so two services answer queries identically
+        iff their digests match.  This is the provenance field of every
+        :class:`QueryResponse` and the store half of the server's cache key.
+        """
+        if self._store_digest is None:
+            digest = hashlib.sha256()
+            for record in self._dataset.records:
+                digest.update(record.fingerprint.encode())
+            for name in self._measurements.config_names:
+                digest.update(name.encode())
+                digest.update(
+                    np.ascontiguousarray(self._measurements.latencies(name)).tobytes()
+                )
+                digest.update(
+                    np.ascontiguousarray(self._measurements.energies(name)).tobytes()
+                )
+            self._store_digest = digest.hexdigest()[:16]
+        return self._store_digest
+
+    # ------------------------------------------------------------------ #
+    # The unified typed entry point
+    # ------------------------------------------------------------------ #
+    def query(self, request: QueryRequest) -> QueryResponse:
+        """Answer one typed request; the single dispatch every front-end uses.
+
+        The ``result`` payload is JSON-serializable and numerically
+        identical to the corresponding named-method answer (the named
+        methods and this dispatch share the same kernels).
+        """
+        if isinstance(request, TopKRequest):
+            result = {"entries": [self._encode_top_entry(e) for e in self.top_k(request.k)]}
+            served_from = "store"
+        elif isinstance(request, ParetoRequest):
+            points = self.pareto_front(request.config_name, request.min_accuracy)
+            result = {"points": [self._encode_pareto_point(p) for p in points]}
+            served_from = "store"
+        elif isinstance(request, MetricRequest):
+            value = self.metric_of(request.fingerprint, request.config_name, request.metric)
+            result = {"value": None if value is None else float(value)}
+            served_from = "store"
+        elif isinstance(request, PredictRequest):
+            values = self.predict(list(request.cells), request.config_name, request.metric)
+            result = {"values": [float(value) for value in values]}
+            served_from = "model"
+        else:
+            raise ServiceError(
+                f"unsupported query request type {type(request).__name__!r}"
+            )
+        return QueryResponse(
+            kind=request.kind,
+            result=result,
+            store_digest=self.store_digest,
+            served_from=served_from,
+        )
+
+    def _encode_top_entry(self, entry: TopModelEntry) -> dict:
+        return {
+            "rank": int(entry.rank),
+            "fingerprint": entry.record.fingerprint,
+            "accuracy": float(entry.accuracy),
+            "latency_ms": {
+                name: float(value) for name, value in sorted(entry.latency_ms.items())
+            },
+            "fastest_config": entry.fastest_config,
+            "speedup_over_best_model": {
+                name: float(value)
+                for name, value in sorted(entry.speedup_over_best_model.items())
+            },
+        }
+
+    def _encode_pareto_point(self, point: AccuracyLatencyPoint) -> dict:
+        return {
+            "latency_ms": float(point.latency_ms),
+            "accuracy": float(point.accuracy),
+            "model_index": int(point.model_index),
+            "fingerprint": self._dataset[point.model_index].fingerprint,
+        }
 
     # ------------------------------------------------------------------ #
     # Ranking and frontier queries
@@ -157,15 +296,33 @@ class SweepService:
         """The dataset record with the given isomorphism fingerprint."""
         return self._dataset.find(fingerprint)
 
+    def metric_of(self, fingerprint: str, config_name: str, metric: str) -> float | None:
+        """One measured metric of one cell — the symmetric lookup core.
+
+        ``metric`` selects latency (ms) or energy (mJ; ``None`` when the
+        configuration has no energy model).  :meth:`latency_of` and
+        :meth:`energy_of` are spelled-out wrappers over this method, and the
+        request layer dispatches :class:`MetricRequest` straight into it.
+        """
+        self._require_config(config_name)
+        record = self.record_of(fingerprint)
+        if metric == "latency":
+            return self._measurements.latency_of(record, config_name)
+        if metric == "energy":
+            return self._measurements.energy_of(record, config_name)
+        raise ServiceError(
+            f"unknown metric {metric!r}; expected one of ('latency', 'energy')"
+        )
+
     def latency_of(self, fingerprint: str, config_name: str) -> float:
         """Measured latency (ms) of one cell on one configuration."""
-        self._require_config(config_name)
-        return self._measurements.latency_of(self.record_of(fingerprint), config_name)
+        value = self.metric_of(fingerprint, config_name, "latency")
+        assert value is not None  # latency arrays never carry NaN
+        return value
 
     def energy_of(self, fingerprint: str, config_name: str) -> float | None:
         """Measured energy (mJ) of one cell (``None`` without an energy model)."""
-        self._require_config(config_name)
-        return self._measurements.energy_of(self.record_of(fingerprint), config_name)
+        return self.metric_of(fingerprint, config_name, "energy")
 
     # ------------------------------------------------------------------ #
     # Predictions for unseen cells

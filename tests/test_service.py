@@ -400,6 +400,24 @@ class TestSweepService:
                 measurements=direct_measurements,
             )
 
+    def test_preloaded_measurements_accept_fingerprint_equal_dataset(
+        self, tmp_path, store_dataset, direct_measurements, no_simulation
+    ):
+        # Regression: the preloaded path used to compare datasets by object
+        # identity (`is not`), rejecting a worker-rebuilt dataset of the same
+        # population; content (fingerprints + network config) is what matters.
+        rebuilt = NASBenchDataset(list(store_dataset.records), store_dataset.network_config)
+        assert rebuilt is not store_dataset
+        service = SweepService(
+            make_store(tmp_path),
+            rebuilt,
+            configs=CONFIGS,
+            measurements=direct_measurements,
+        )
+        assert service.top_k(1)[0].record.fingerprint == (
+            store_dataset.top_k_by_accuracy(1)[0].fingerprint
+        )
+
     def test_predictions_for_unseen_cells_are_cached_on_disk(
         self, warm_root, store_dataset, monkeypatch
     ):
